@@ -1,0 +1,3 @@
+module partialsnapshot
+
+go 1.24

@@ -1,0 +1,155 @@
+// Package bench is the benchmark harness behind cmd/snapbench: it runs a
+// configurable mixed Update/PartialScan workload against a chosen Object
+// implementation and reports throughput, following the SPAA benchmarking
+// discipline of sweeping goroutines × components × scan width and
+// comparing implementations under identical workloads.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partialsnapshot/internal/snapshot"
+)
+
+// Config describes one benchmark cell.
+type Config struct {
+	// Impl selects the implementation: "lockfree" or "rwmutex".
+	Impl string `json:"impl"`
+	// Goroutines is the number of worker goroutines.
+	Goroutines int `json:"goroutines"`
+	// Components is n, the size of the snapshot object.
+	Components int `json:"components"`
+	// ScanWidth is the number of components each PartialScan names.
+	ScanWidth int `json:"scan_width"`
+	// UpdateWidth is the number of components each Update names.
+	UpdateWidth int `json:"update_width"`
+	// ScanFrac is the fraction of operations that are scans, in [0,1].
+	ScanFrac float64 `json:"scan_frac"`
+	// Duration is how long the workload runs.
+	Duration time.Duration `json:"duration_ns"`
+	// Seed makes the workload reproducible.
+	Seed int64 `json:"seed"`
+}
+
+// Result is one benchmark cell's outcome.
+type Result struct {
+	Config
+	UpdateOps  uint64  `json:"update_ops"`
+	ScanOps    uint64  `json:"scan_ops"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// NewObject constructs the implementation named by impl.
+func NewObject(impl string, n int) (snapshot.Object[int64], error) {
+	switch impl {
+	case "lockfree":
+		return snapshot.NewLockFree[int64](n), nil
+	case "rwmutex":
+		return snapshot.NewRWMutex[int64](n), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown implementation %q (want lockfree or rwmutex)", impl)
+	}
+}
+
+// Run executes one benchmark cell. Each worker repeatedly picks a random
+// component set of the configured width and either updates it or partially
+// scans it, until the duration elapses.
+func Run(cfg Config) (Result, error) {
+	if cfg.Goroutines <= 0 || cfg.Components <= 0 {
+		return Result{}, fmt.Errorf("bench: goroutines and components must be positive, got %d and %d", cfg.Goroutines, cfg.Components)
+	}
+	if cfg.ScanWidth <= 0 || cfg.ScanWidth > cfg.Components {
+		return Result{}, fmt.Errorf("bench: scan width %d out of range [1,%d]", cfg.ScanWidth, cfg.Components)
+	}
+	if cfg.UpdateWidth <= 0 || cfg.UpdateWidth > cfg.Components {
+		return Result{}, fmt.Errorf("bench: update width %d out of range [1,%d]", cfg.UpdateWidth, cfg.Components)
+	}
+	if cfg.ScanFrac < 0 || cfg.ScanFrac > 1 {
+		return Result{}, fmt.Errorf("bench: scan fraction %v out of range [0,1]", cfg.ScanFrac)
+	}
+	obj, err := NewObject(cfg.Impl, cfg.Components)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var stop atomic.Bool
+	var updates, scans atomic.Uint64
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+
+	start := time.Now()
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
+			perm := make([]int, cfg.Components)
+			for i := range perm {
+				perm[i] = i
+			}
+			vals := make([]int64, cfg.UpdateWidth)
+			var localUpdates, localScans uint64
+			var seq int64
+			for !stop.Load() {
+				if rng.Float64() < cfg.ScanFrac {
+					set := randomSet(rng, perm, cfg.ScanWidth)
+					if _, err := obj.PartialScan(set); err != nil {
+						e := err
+						firstErr.CompareAndSwap(nil, &e)
+						return
+					}
+					localScans++
+				} else {
+					set := randomSet(rng, perm, cfg.UpdateWidth)
+					seq++
+					for i := range cfg.UpdateWidth {
+						vals[i] = int64(worker)<<32 | seq
+					}
+					if err := obj.Update(set, vals[:cfg.UpdateWidth]); err != nil {
+						e := err
+						firstErr.CompareAndSwap(nil, &e)
+						return
+					}
+					localUpdates++
+				}
+			}
+			updates.Add(localUpdates)
+			scans.Add(localScans)
+		}(g)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if ep := firstErr.Load(); ep != nil {
+		return Result{}, fmt.Errorf("bench: worker failed: %w", *ep)
+	}
+
+	res := Result{
+		Config:     cfg,
+		UpdateOps:  updates.Load(),
+		ScanOps:    scans.Load(),
+		ElapsedSec: elapsed.Seconds(),
+	}
+	res.OpsPerSec = float64(res.UpdateOps+res.ScanOps) / res.ElapsedSec
+	return res, nil
+}
+
+// randomSet returns a uniform random k-subset of the components as the
+// first k slots of perm, via a partial Fisher–Yates over the caller's
+// persistent permutation buffer: O(k) per call and allocation-free, so the
+// timed loop charges no harness overhead to the implementation under test.
+// perm stays a permutation across calls.
+func randomSet(rng *rand.Rand, perm []int, k int) []int {
+	n := len(perm)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:k]
+}

@@ -1,0 +1,69 @@
+package bench_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"partialsnapshot/internal/bench"
+	"partialsnapshot/internal/snapshot"
+)
+
+func TestRunSmoke(t *testing.T) {
+	for _, impl := range []string{"lockfree", "rwmutex"} {
+		res, err := bench.Run(bench.Config{
+			Impl:        impl,
+			Goroutines:  4,
+			Components:  16,
+			ScanWidth:   4,
+			UpdateWidth: 2,
+			ScanFrac:    0.5,
+			Duration:    30 * time.Millisecond,
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+		if res.UpdateOps+res.ScanOps == 0 {
+			t.Fatalf("%s: no operations completed", impl)
+		}
+		if res.OpsPerSec <= 0 {
+			t.Fatalf("%s: ops/sec = %v", impl, res.OpsPerSec)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	bad := []bench.Config{
+		{Impl: "lockfree", Goroutines: 0, Components: 8, ScanWidth: 1, UpdateWidth: 1},
+		{Impl: "lockfree", Goroutines: 1, Components: 8, ScanWidth: 9, UpdateWidth: 1},
+		{Impl: "lockfree", Goroutines: 1, Components: 8, ScanWidth: 1, UpdateWidth: 0},
+		{Impl: "lockfree", Goroutines: 1, Components: 8, ScanWidth: 1, UpdateWidth: 1, ScanFrac: 1.5},
+		{Impl: "nonesuch", Goroutines: 1, Components: 8, ScanWidth: 1, UpdateWidth: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := bench.Run(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNewObject(t *testing.T) {
+	for _, impl := range []string{"lockfree", "rwmutex"} {
+		obj, err := bench.NewObject(impl, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obj.Components() != 4 {
+			t.Fatalf("%s: Components() = %d", impl, obj.Components())
+		}
+	}
+	if _, err := bench.NewObject("nope", 4); err == nil {
+		t.Fatal("unknown implementation accepted")
+	}
+	// The error surface of the objects is the shared typed error.
+	obj, _ := bench.NewObject("lockfree", 4)
+	if err := obj.Update([]int{9}, []int64{1}); !errors.Is(err, snapshot.ErrBadComponent) {
+		t.Fatalf("error = %v, want ErrBadComponent", err)
+	}
+}

@@ -1,1 +1,19 @@
+// Package core is the stable entry point of the repository: it re-exports
+// the partial snapshot API from internal/snapshot so the original seed
+// import path keeps working while the implementation lives in its own
+// package.
 package core
+
+import "partialsnapshot/internal/snapshot"
+
+// Object is the partial snapshot interface; see internal/snapshot.
+type Object[V any] = snapshot.Object[V]
+
+// ErrBadComponent reports an invalid component-ID set.
+var ErrBadComponent = snapshot.ErrBadComponent
+
+// NewLockFree returns the lock-free partial snapshot object.
+func NewLockFree[V any](n int) Object[V] { return snapshot.NewLockFree[V](n) }
+
+// NewRWMutex returns the coarse lock-based reference implementation.
+func NewRWMutex[V any](n int) Object[V] { return snapshot.NewRWMutex[V](n) }

@@ -1,0 +1,31 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"partialsnapshot/internal/core"
+)
+
+// TestSeedPathReExportsSnapshotAPI keeps the original seed import path
+// (internal/core) working as a facade over internal/snapshot.
+func TestSeedPathReExportsSnapshotAPI(t *testing.T) {
+	for name, obj := range map[string]core.Object[string]{
+		"lockfree": core.NewLockFree[string](3),
+		"rwmutex":  core.NewRWMutex[string](3),
+	} {
+		if err := obj.Update([]int{2}, []string{"hi"}); err != nil {
+			t.Fatalf("%s: Update: %v", name, err)
+		}
+		vals, err := obj.PartialScan([]int{2, 0})
+		if err != nil {
+			t.Fatalf("%s: PartialScan: %v", name, err)
+		}
+		if vals[0] != "hi" || vals[1] != "" {
+			t.Fatalf("%s: PartialScan = %v", name, vals)
+		}
+		if _, err := obj.PartialScan([]int{3}); !errors.Is(err, core.ErrBadComponent) {
+			t.Fatalf("%s: error = %v, want core.ErrBadComponent", name, err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package snapshot_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"partialsnapshot/internal/snapshot"
+)
+
+const benchComponents = 64
+
+func benchmarkMixed(b *testing.B, obj snapshot.Object[int64], scanWidth int) {
+	var worker atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := worker.Add(1)
+		rng := rand.New(rand.NewSource(id))
+		updateIDs := []int{0}
+		vals := []int64{0}
+		scanIDs := make([]int, scanWidth)
+		var seq int64
+		for pb.Next() {
+			if rng.Intn(2) == 0 {
+				updateIDs[0] = rng.Intn(benchComponents)
+				seq++
+				vals[0] = id<<32 | seq
+				if err := obj.Update(updateIDs, vals); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				base := rng.Intn(benchComponents - scanWidth + 1)
+				for i := range scanIDs {
+					scanIDs[i] = base + i
+				}
+				if _, err := obj.PartialScan(scanIDs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkLockFreeMixedWidth1(b *testing.B) {
+	benchmarkMixed(b, snapshot.NewLockFree[int64](benchComponents), 1)
+}
+
+func BenchmarkLockFreeMixedWidth16(b *testing.B) {
+	benchmarkMixed(b, snapshot.NewLockFree[int64](benchComponents), 16)
+}
+
+func BenchmarkRWMutexMixedWidth1(b *testing.B) {
+	benchmarkMixed(b, snapshot.NewRWMutex[int64](benchComponents), 1)
+}
+
+func BenchmarkRWMutexMixedWidth16(b *testing.B) {
+	benchmarkMixed(b, snapshot.NewRWMutex[int64](benchComponents), 16)
+}

@@ -1,0 +1,128 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHelpAdoptionDeterministic drives the paper's helping mechanism
+// end-to-end without relying on scheduler interleaving (which few-core
+// machines rarely produce): a hook between every double collect's two
+// halves performs an overlapping Update, so the scanner can never get a
+// clean double collect. The scan must still terminate — by announcing
+// itself, being helped by the obstructing updater, and adopting the
+// helper's embedded view.
+func TestHelpAdoptionDeterministic(t *testing.T) {
+	o := NewLockFree[int64](4)
+	if err := o.Update([]int{0, 1}, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	scanTestHook = func() {
+		calls++
+		if err := o.Update([]int{0}, []int64{int64(100 + calls)}); err != nil {
+			t.Errorf("hook update: %v", err)
+		}
+	}
+	defer func() { scanTestHook = nil }()
+
+	vals, err := o.PartialScan([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adopted view must be one of the obstructing writes' values on
+	// component 0 and the untouched value on component 1.
+	if vals[0] < 100 || vals[0] > int64(100+calls) || vals[1] != 2 {
+		t.Fatalf("adopted view = %v after %d obstructions", vals, calls)
+	}
+	st := o.Stats()
+	if st.HelpsAdopted != 1 {
+		t.Fatalf("scan terminated without adopting help: %+v", st)
+	}
+	if st.HelpsPosted == 0 {
+		t.Fatalf("obstructing updater never posted help: %+v", st)
+	}
+	if st.ScanRetries == 0 {
+		t.Fatalf("hook failed to obstruct the double collect: %+v", st)
+	}
+	// The announcement must have been retired: a later update walks the
+	// stack and unlinks the completed record.
+	if err := o.Update([]int{0}, []int64{999}); err != nil {
+		t.Fatal(err)
+	}
+	if head := o.scans.Load(); head != nil {
+		t.Fatalf("completed scan record still announced: %+v", head)
+	}
+}
+
+// TestUpdaterHelpsOnlyIntersectingScans checks locality of helping: an
+// announced scan is helped by an overlapping update and ignored by a
+// disjoint one.
+func TestUpdaterHelpsOnlyIntersectingScans(t *testing.T) {
+	o := NewLockFree[int64](8)
+	rec := &scanRecord[int64]{ids: []int{0, 1}, mask: maskOf(8, []int{0, 1})}
+	o.announce(rec)
+
+	if err := o.Update([]int{5, 6}, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.help.Load() != nil {
+		t.Fatal("disjoint update posted help")
+	}
+	if err := o.Update([]int{1}, []int64{11}); err != nil {
+		t.Fatal(err)
+	}
+	h := rec.help.Load()
+	if h == nil {
+		t.Fatal("overlapping update did not post help")
+	}
+	// Help was collected before the cells were written, so it shows the
+	// pre-update state of components 0 and 1.
+	if (*h)[0] != 0 || (*h)[1] != 0 {
+		t.Fatalf("help view = %v, want pre-update [0 0]", *h)
+	}
+	rec.done.Store(true)
+}
+
+// TestConcurrentAdoptionUnderForcedObstruction layers real concurrency on
+// the forced-obstruction hook: many scanners all permanently obstructed,
+// all terminating via adoption, with the race detector watching the
+// announce stack and help CAS.
+func TestConcurrentAdoptionUnderForcedObstruction(t *testing.T) {
+	o := NewLockFree[int64](4)
+	var mu sync.Mutex
+	n := 0
+	scanTestHook = func() {
+		mu.Lock()
+		n++
+		v := int64(n)
+		mu.Unlock()
+		if err := o.Update([]int{0}, []int64{v}); err != nil {
+			t.Errorf("hook update: %v", err)
+		}
+	}
+	defer func() { scanTestHook = nil }()
+
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				if _, err := o.PartialScan([]int{0, 1}); err != nil {
+					t.Errorf("PartialScan: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := o.Stats()
+	if st.HelpsAdopted == 0 || st.HelpsPosted == 0 {
+		t.Fatalf("forced obstruction never exercised helping: %+v", st)
+	}
+	t.Logf("forced-obstruction stats: %+v", st)
+}

@@ -1,0 +1,267 @@
+package snapshot
+
+import "sync/atomic"
+
+// cell is one immutable register value for a single component. Every write
+// allocates a fresh cell, so pointer identity distinguishes writes: a
+// double collect that loads the same *cell twice knows the component did
+// not change in between (Go's GC rules out ABA while the collect still
+// holds the old pointer). The update op id rides along for observability
+// and for the spec recorder.
+type cell[V any] struct {
+	val V
+	op  uint64 // unique id of the Update that wrote this cell; 0 = initial
+}
+
+// scanRecord is a scanner's announcement: "I am reading this component
+// set". Updaters that are about to overwrite an announced component first
+// try to produce a clean embedded collect of the announced set and post it
+// in help; an obstructed scanner adopts that view instead of retrying.
+type scanRecord[V any] struct {
+	ids  []int    // announced components, in the scanner's order
+	mask []uint64 // bitset over [0,n) for O(n/64) intersection tests
+	help atomic.Pointer[[]V]
+	done atomic.Bool
+	next atomic.Pointer[scanRecord[V]]
+}
+
+// scanTestHook, when non-nil, runs between the two collects of a scanner's
+// double collect (never inside an updater's embedded collect). Tests use it
+// to obstruct a scan deterministically and drive the helping path, which
+// rarely interleaves naturally on few-core machines.
+var scanTestHook func()
+
+// maxHelpAttempts bounds the embedded collect an updater performs on behalf
+// of an announced scan, so helping never blocks an updater for long. The
+// bound is what makes this implementation lock-free rather than wait-free:
+// under a sufficiently adversarial schedule every helper can exhaust its
+// attempts and a scanner can retry unboundedly (though some operation
+// always completes). The paper's full construction makes helping itself
+// wait-free via recursive embedded scans; restoring that is a ROADMAP item.
+const maxHelpAttempts = 8
+
+// LockFree is the lock-free partial snapshot object (see maxHelpAttempts
+// for why it is not fully wait-free). Zero value is not usable; call
+// NewLockFree.
+type LockFree[V any] struct {
+	cells []atomic.Pointer[cell[V]]
+	ops   atomic.Uint64                 // unique update op ids
+	scans atomic.Pointer[scanRecord[V]] // Treiber-style stack of announcements
+	all   []int                         // cached [0..n) for Scan
+
+	scanRetries  atomic.Uint64
+	helpsPosted  atomic.Uint64
+	helpsAdopted atomic.Uint64
+}
+
+// NewLockFree returns a lock-free partial snapshot object with n components,
+// each initialised to the zero value of V.
+func NewLockFree[V any](n int) *LockFree[V] {
+	if n <= 0 {
+		panic("snapshot: number of components must be positive")
+	}
+	o := &LockFree[V]{
+		cells: make([]atomic.Pointer[cell[V]], n),
+		all:   allIDs(n),
+	}
+	initial := &cell[V]{}
+	for i := range o.cells {
+		o.cells[i].Store(initial)
+	}
+	return o
+}
+
+func (o *LockFree[V]) Components() int { return len(o.cells) }
+
+// Update writes vals[i] into component ids[i]. Before touching any cell it
+// helps every announced scan whose component set intersects ids, so a
+// scanner this write obstructs normally finds help already posted. The
+// help attempt is bounded (maxHelpAttempts), so this is best-effort, not a
+// guarantee — the scanner's own retry loop is the fallback.
+func (o *LockFree[V]) Update(ids []int, vals []V) error {
+	if err := validateArgs(len(o.cells), ids, vals); err != nil {
+		return err
+	}
+	op := o.ops.Add(1)
+	o.helpOverlappingScans(ids)
+	for i, id := range ids {
+		o.cells[id].Store(&cell[V]{val: vals[i], op: op})
+	}
+	return nil
+}
+
+// PartialScan returns an atomic view of the named components: either a
+// clean double collect (the exact memory state at an instant between the
+// two collects) or a view posted by a helping updater (itself a clean
+// double collect taken inside this scan's interval).
+func (o *LockFree[V]) PartialScan(ids []int) ([]V, error) {
+	if err := validateIDs(len(o.cells), ids); err != nil {
+		return nil, err
+	}
+	a := make([]*cell[V], len(ids))
+	b := make([]*cell[V], len(ids))
+	// Fast path: an uncontended scan needs no announcement.
+	o.collect(ids, a)
+	if scanTestHook != nil {
+		scanTestHook()
+	}
+	o.collect(ids, b)
+	if sameCells(a, b) {
+		return cellVals(b), nil
+	}
+	o.scanRetries.Add(1)
+	rec := &scanRecord[V]{
+		ids:  append([]int(nil), ids...),
+		mask: maskOf(len(o.cells), ids),
+	}
+	o.announce(rec)
+	defer rec.done.Store(true)
+	for {
+		o.collect(rec.ids, a)
+		if scanTestHook != nil {
+			scanTestHook()
+		}
+		o.collect(rec.ids, b)
+		if sameCells(a, b) {
+			return cellVals(b), nil
+		}
+		// The collect was obstructed. An updater that wrote one of our
+		// components after seeing the announcement normally posted help
+		// before writing, so check for an adoptable view.
+		if h := rec.help.Load(); h != nil {
+			o.helpsAdopted.Add(1)
+			return append([]V(nil), (*h)...), nil
+		}
+		o.scanRetries.Add(1)
+	}
+}
+
+// Scan is PartialScan over every component.
+func (o *LockFree[V]) Scan() ([]V, error) { return o.PartialScan(o.all) }
+
+// Stats exposes internal progress counters, used by tests to demonstrate
+// the paper's locality property (disjoint operations never retry or help).
+type Stats struct {
+	// ScanRetries counts failed double collects across all scans.
+	ScanRetries uint64
+	// HelpsPosted counts embedded views posted by updaters.
+	HelpsPosted uint64
+	// HelpsAdopted counts scans that returned a helped view.
+	HelpsAdopted uint64
+}
+
+func (o *LockFree[V]) Stats() Stats {
+	return Stats{
+		ScanRetries:  o.scanRetries.Load(),
+		HelpsPosted:  o.helpsPosted.Load(),
+		HelpsAdopted: o.helpsAdopted.Load(),
+	}
+}
+
+// announce pushes rec onto the announcement stack, opportunistically
+// unlinking completed records at the head.
+func (o *LockFree[V]) announce(rec *scanRecord[V]) {
+	for {
+		head := o.scans.Load()
+		if head != nil && head.done.Load() {
+			o.scans.CompareAndSwap(head, head.next.Load())
+			continue
+		}
+		rec.next.Store(head)
+		if o.scans.CompareAndSwap(head, rec) {
+			return
+		}
+	}
+}
+
+// helpOverlappingScans walks the announcement stack and, for every live
+// scan whose set intersects ids, tries to post an embedded collect of that
+// scan's set. Completed records encountered on the way are unlinked.
+func (o *LockFree[V]) helpOverlappingScans(ids []int) {
+	cur := o.scans.Load()
+	if cur == nil {
+		return // common case: no scanner announced, zero overhead
+	}
+	mask := maskOf(len(o.cells), ids)
+	var prev *scanRecord[V]
+	for cur != nil {
+		next := cur.next.Load()
+		if cur.done.Load() {
+			if prev != nil {
+				prev.next.CompareAndSwap(cur, next)
+			} else {
+				o.scans.CompareAndSwap(cur, next)
+			}
+			cur = next
+			continue
+		}
+		if intersects(mask, cur.mask) && cur.help.Load() == nil {
+			if view, ok := o.collectFor(cur); ok {
+				if cur.help.CompareAndSwap(nil, &view) {
+					o.helpsPosted.Add(1)
+				}
+			}
+		}
+		prev = cur
+		cur = next
+	}
+}
+
+// collectFor attempts a bounded clean double collect of rec's component
+// set, bailing out early if the scan finished or someone else already
+// posted help.
+func (o *LockFree[V]) collectFor(rec *scanRecord[V]) ([]V, bool) {
+	a := make([]*cell[V], len(rec.ids))
+	b := make([]*cell[V], len(rec.ids))
+	for attempt := 0; attempt < maxHelpAttempts; attempt++ {
+		if rec.done.Load() || rec.help.Load() != nil {
+			return nil, false
+		}
+		o.collect(rec.ids, a)
+		o.collect(rec.ids, b)
+		if sameCells(a, b) {
+			return cellVals(b), true
+		}
+	}
+	return nil, false
+}
+
+func (o *LockFree[V]) collect(ids []int, into []*cell[V]) {
+	for i, id := range ids {
+		into[i] = o.cells[id].Load()
+	}
+}
+
+func sameCells[V any](a, b []*cell[V]) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cellVals[V any](cells []*cell[V]) []V {
+	vals := make([]V, len(cells))
+	for i, c := range cells {
+		vals[i] = c.val
+	}
+	return vals
+}
+
+func maskOf(n int, ids []int) []uint64 {
+	m := make([]uint64, (n+63)/64)
+	for _, id := range ids {
+		m[id/64] |= 1 << (id % 64)
+	}
+	return m
+}
+
+func intersects(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}

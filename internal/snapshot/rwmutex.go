@@ -1,0 +1,54 @@
+package snapshot
+
+import "sync"
+
+// RWMutex is the coarse-grained reference implementation of Object: one
+// reader/writer lock over the whole component array. Every operation is
+// trivially atomic (including multi-component Update batches), which makes
+// it the correctness baseline for the spec checker and the benchmark foil
+// for LockFree. Scans on disjoint component sets still serialise against
+// updates here — exactly the interference the partial snapshot object
+// removes.
+type RWMutex[V any] struct {
+	mu   sync.RWMutex
+	vals []V
+	all  []int
+}
+
+// NewRWMutex returns a lock-based partial snapshot object with n
+// components, each initialised to the zero value of V.
+func NewRWMutex[V any](n int) *RWMutex[V] {
+	if n <= 0 {
+		panic("snapshot: number of components must be positive")
+	}
+	return &RWMutex[V]{vals: make([]V, n), all: allIDs(n)}
+}
+
+func (o *RWMutex[V]) Components() int { return len(o.vals) }
+
+func (o *RWMutex[V]) Update(ids []int, vals []V) error {
+	if err := validateArgs(len(o.vals), ids, vals); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	for i, id := range ids {
+		o.vals[id] = vals[i]
+	}
+	o.mu.Unlock()
+	return nil
+}
+
+func (o *RWMutex[V]) PartialScan(ids []int) ([]V, error) {
+	if err := validateIDs(len(o.vals), ids); err != nil {
+		return nil, err
+	}
+	out := make([]V, len(ids))
+	o.mu.RLock()
+	for i, id := range ids {
+		out[i] = o.vals[id]
+	}
+	o.mu.RUnlock()
+	return out, nil
+}
+
+func (o *RWMutex[V]) Scan() ([]V, error) { return o.PartialScan(o.all) }

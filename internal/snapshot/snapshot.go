@@ -1,0 +1,110 @@
+// Package snapshot implements the partial snapshot object of Attiya,
+// Guerraoui and Ruppert, "Partial snapshot objects" (SPAA 2008).
+//
+// A snapshot object holds n components. A classic (full) snapshot lets a
+// scanner read all n components atomically. A *partial* snapshot object
+// instead exposes
+//
+//	Update(componentIDs, values)
+//	PartialScan(componentIDs) -> values
+//
+// where both operations name only the components they care about. The point
+// of the paper is locality: a partial scan reads — and is obstructed by —
+// only the components it names, so operations on disjoint component sets do
+// not interfere with each other at all.
+//
+// Two implementations share the Object interface:
+//
+//   - LockFree: per-component sequence-stamped registers (atomic.Pointer
+//     cells) with the paper's helping mechanism. Scanners announce the
+//     component set they are reading; an updater that is about to overwrite
+//     one of those components first performs an embedded collect of the
+//     announced set and posts it as a help record, so an obstructed scanner
+//     can adopt a consistent view instead of retrying forever.
+//   - RWMutex: a coarse-grained reference implementation used as the
+//     correctness baseline and benchmark foil.
+//
+// Semantics: PartialScan is atomic — the returned values all coexisted in
+// the object at a single instant inside the scan's interval. A
+// multi-component Update is applied as a sequence of single-component
+// atomic writes (component updates are individually linearizable; the batch
+// as a whole is not, matching the single-writer-per-component granularity
+// of the paper). The RWMutex implementation is strictly stronger (batches
+// are atomic too); the sequential spec in internal/spec admits both.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadComponent is returned (wrapped, with detail) when a component-ID
+// set handed to Update or PartialScan is empty, contains an out-of-range
+// ID, contains duplicates, or does not match the number of values.
+var ErrBadComponent = errors.New("snapshot: bad component set")
+
+// Object is the partial snapshot API shared by all implementations.
+type Object[V any] interface {
+	// Components returns n, the number of components in the object.
+	Components() int
+	// Update atomically writes vals[i] to component ids[i] for each i.
+	// Each component write is individually linearizable; see the package
+	// comment for batch semantics.
+	Update(ids []int, vals []V) error
+	// PartialScan returns the values of the named components as they
+	// coexisted at one instant within the call's interval. The result is
+	// ordered like ids.
+	PartialScan(ids []int) ([]V, error)
+	// Scan is PartialScan over every component.
+	Scan() ([]V, error)
+}
+
+// validateIDs rejects empty, out-of-range and duplicate component sets.
+func validateIDs(n int, ids []int) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("%w: empty component set", ErrBadComponent)
+	}
+	if len(ids) <= 32 {
+		// Quadratic duplicate check beats a map allocation for small sets.
+		for i, id := range ids {
+			if id < 0 || id >= n {
+				return fmt.Errorf("%w: component %d out of range [0,%d)", ErrBadComponent, id, n)
+			}
+			for j := 0; j < i; j++ {
+				if ids[j] == id {
+					return fmt.Errorf("%w: duplicate component %d", ErrBadComponent, id)
+				}
+			}
+		}
+		return nil
+	}
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if id < 0 || id >= n {
+			return fmt.Errorf("%w: component %d out of range [0,%d)", ErrBadComponent, id, n)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("%w: duplicate component %d", ErrBadComponent, id)
+		}
+		seen[id] = struct{}{}
+	}
+	return nil
+}
+
+func validateArgs[V any](n int, ids []int, vals []V) error {
+	if err := validateIDs(n, ids); err != nil {
+		return err
+	}
+	if len(vals) != len(ids) {
+		return fmt.Errorf("%w: %d values for %d components", ErrBadComponent, len(vals), len(ids))
+	}
+	return nil
+}
+
+func allIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}

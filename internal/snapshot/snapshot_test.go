@@ -1,0 +1,162 @@
+package snapshot_test
+
+import (
+	"errors"
+	"testing"
+
+	"partialsnapshot/internal/snapshot"
+)
+
+func implementations(n int) map[string]snapshot.Object[int64] {
+	return map[string]snapshot.Object[int64]{
+		"lockfree": snapshot.NewLockFree[int64](n),
+		"rwmutex":  snapshot.NewRWMutex[int64](n),
+	}
+}
+
+func TestSingleThreadedSemantics(t *testing.T) {
+	for name, obj := range implementations(8) {
+		t.Run(name, func(t *testing.T) {
+			if got := obj.Components(); got != 8 {
+				t.Fatalf("Components() = %d, want 8", got)
+			}
+			// Fresh object scans to zero values.
+			vals, err := obj.Scan()
+			if err != nil {
+				t.Fatalf("Scan: %v", err)
+			}
+			for i, v := range vals {
+				if v != 0 {
+					t.Fatalf("initial component %d = %d, want 0", i, v)
+				}
+			}
+			// Updates land on exactly the named components.
+			if err := obj.Update([]int{1, 5}, []int64{11, 55}); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+			if err := obj.Update([]int{5}, []int64{56}); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+			got, err := obj.PartialScan([]int{5, 1, 0})
+			if err != nil {
+				t.Fatalf("PartialScan: %v", err)
+			}
+			want := []int64{56, 11, 0}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("PartialScan = %v, want %v", got, want)
+				}
+			}
+			// Full scan agrees.
+			vals, err = obj.Scan()
+			if err != nil {
+				t.Fatalf("Scan: %v", err)
+			}
+			wantAll := []int64{0, 11, 0, 0, 0, 56, 0, 0}
+			for i := range wantAll {
+				if vals[i] != wantAll[i] {
+					t.Fatalf("Scan = %v, want %v", vals, wantAll)
+				}
+			}
+		})
+	}
+}
+
+func TestComponentValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ids  []int
+		vals []int64 // nil means test PartialScan too with just ids
+	}{
+		{"empty", []int{}, []int64{}},
+		{"negative", []int{-1}, []int64{1}},
+		{"out of range", []int{8}, []int64{1}},
+		{"duplicate", []int{3, 3}, []int64{1, 2}},
+		{"duplicate large set", dupLargeSet(), make([]int64, 40)},
+		{"out of range large set", outOfRangeLargeSet(), make([]int64, 40)},
+	}
+	for name, obj := range implementations(8) {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range cases {
+				if err := obj.Update(tc.ids, tc.vals); !errors.Is(err, snapshot.ErrBadComponent) {
+					t.Errorf("%s: Update error = %v, want ErrBadComponent", tc.name, err)
+				}
+				if _, err := obj.PartialScan(tc.ids); !errors.Is(err, snapshot.ErrBadComponent) {
+					t.Errorf("%s: PartialScan error = %v, want ErrBadComponent", tc.name, err)
+				}
+			}
+			// Length mismatch is Update-only.
+			if err := obj.Update([]int{1, 2}, []int64{1}); !errors.Is(err, snapshot.ErrBadComponent) {
+				t.Errorf("length mismatch: Update error = %v, want ErrBadComponent", err)
+			}
+			// A rejected op must not have modified anything.
+			vals, err := obj.Scan()
+			if err != nil {
+				t.Fatalf("Scan: %v", err)
+			}
+			for i, v := range vals {
+				if v != 0 {
+					t.Fatalf("component %d = %d after rejected ops, want 0", i, v)
+				}
+			}
+		})
+	}
+}
+
+// dupLargeSet exercises the map-based validation path (>32 ids): 40 ids
+// over an 8-component object are necessarily invalid, and the set repeats
+// id 3 so the duplicate check fires even on a larger object.
+func dupLargeSet() []int {
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = i % 7
+	}
+	return ids
+}
+
+func outOfRangeLargeSet() []int {
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = i + 100
+	}
+	return ids
+}
+
+func TestValidationLargeObject(t *testing.T) {
+	// On a large object the >32-id path must accept a valid set and catch
+	// a single duplicate.
+	obj := snapshot.NewLockFree[int64](128)
+	ids := make([]int, 64)
+	vals := make([]int64, 64)
+	for i := range ids {
+		ids[i] = i * 2
+		vals[i] = int64(i)
+	}
+	if err := obj.Update(ids, vals); err != nil {
+		t.Fatalf("valid 64-component update rejected: %v", err)
+	}
+	ids[63] = ids[0]
+	if err := obj.Update(ids, vals); !errors.Is(err, snapshot.ErrBadComponent) {
+		t.Fatalf("duplicate in large set: error = %v, want ErrBadComponent", err)
+	}
+}
+
+func TestPartialScanOrderFollowsIDs(t *testing.T) {
+	for name, obj := range implementations(4) {
+		t.Run(name, func(t *testing.T) {
+			if err := obj.Update([]int{0, 1, 2, 3}, []int64{10, 20, 30, 40}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := obj.PartialScan([]int{3, 0, 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []int64{40, 10, 30}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("PartialScan order: got %v, want %v", got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,264 @@
+// Package spec holds the sequential specification of a partial snapshot
+// object and a linearizability-style checker that replays recorded
+// concurrent histories against it.
+//
+// The sequential model is an array of n components: Update assigns, Scan
+// reads. For sequential (non-overlapping) histories, CheckSequential
+// replays the model exactly. For concurrent histories, Check verifies the
+// atomic-cut property the implementation promises: for every scan there
+// must exist an instant t inside the scan's interval at which every
+// observed value could have been the current value of its component. The
+// check is interval-based and sound — it never rejects a linearizable
+// history; its precision relies on written values being distinct per
+// component (test workloads encode writer ID + sequence number into each
+// value).
+package spec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates history operations.
+type Kind uint8
+
+const (
+	// Update is a write of Vals[i] to component Comps[i].
+	Update Kind = iota
+	// Scan is a partial scan that observed Vals[i] on component Comps[i].
+	Scan
+)
+
+// Op is one completed operation in a recorded history. Start and End are
+// logical timestamps drawn from the Recorder's clock: an op that returned
+// before another was invoked has the smaller timestamps, and each
+// component write/read took effect at some instant within [Start, End].
+type Op[V comparable] struct {
+	Kind  Kind
+	Start int64
+	End   int64
+	Comps []int
+	Vals  []V
+}
+
+// Model is the sequential partial snapshot: a plain array of components.
+type Model[V comparable] struct {
+	vals []V
+}
+
+// NewModel returns a sequential model with n zero-valued components.
+func NewModel[V comparable](n int) *Model[V] {
+	return &Model[V]{vals: make([]V, n)}
+}
+
+func (m *Model[V]) Components() int { return len(m.vals) }
+
+// Apply performs a sequential Update.
+func (m *Model[V]) Apply(comps []int, vals []V) {
+	for i, c := range comps {
+		m.vals[c] = vals[i]
+	}
+}
+
+// Read performs a sequential PartialScan.
+func (m *Model[V]) Read(comps []int) []V {
+	out := make([]V, len(comps))
+	for i, c := range comps {
+		out[i] = m.vals[c]
+	}
+	return out
+}
+
+// Recorder accumulates a concurrent history. Concurrent goroutines draw
+// timestamps with Now (strictly monotonic) and append completed ops with
+// Add. Usage per operation:
+//
+//	start := rec.Now()
+//	... perform the operation ...
+//	rec.Add(spec.Op[V]{Kind: ..., Start: start, End: rec.Now(), ...})
+type Recorder[V comparable] struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Op[V]
+}
+
+// Now returns the next logical timestamp.
+func (r *Recorder[V]) Now() int64 { return r.clock.Add(1) }
+
+// Add appends a completed operation. The Comps and Vals slices must not be
+// mutated afterwards.
+func (r *Recorder[V]) Add(op Op[V]) {
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+}
+
+// Ops returns the recorded history.
+func (r *Recorder[V]) Ops() []Op[V] {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Op[V](nil), r.ops...)
+}
+
+// CheckSequential replays a non-overlapping history against the sequential
+// model and requires every scan to match it exactly. It returns an error
+// if the history overlaps (use Check for concurrent histories) or if a
+// scan disagrees with the model.
+func CheckSequential[V comparable](n int, ops []Op[V]) error {
+	sorted := append([]Op[V](nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	m := NewModel[V](n)
+	prevEnd := int64(math.MinInt64)
+	for i, op := range sorted {
+		if op.Start <= prevEnd {
+			return fmt.Errorf("spec: history is not sequential (op %d starts at %d, before previous end %d)", i, op.Start, prevEnd)
+		}
+		prevEnd = op.End
+		switch op.Kind {
+		case Update:
+			m.Apply(op.Comps, op.Vals)
+		case Scan:
+			want := m.Read(op.Comps)
+			for j := range want {
+				if want[j] != op.Vals[j] {
+					return fmt.Errorf("spec: sequential scan %d observed %v on component %d, model has %v",
+						i, op.Vals[j], op.Comps[j], want[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// interval is a closed feasibility window [lo, hi] of logical time.
+type interval struct{ lo, hi int64 }
+
+// write is one component write extracted from an Update op.
+type write[V comparable] struct {
+	start, end int64
+	val        V
+}
+
+// Check verifies a concurrent history: every scan must admit an instant t
+// in [scan.Start, scan.End] at which each observed value was plausibly the
+// current value of its component. A value written by write w is plausible
+// at t iff w.start <= t (the write may have taken effect) and no other
+// write on the same component definitely landed after w and completed
+// before t. The zero value of V is additionally plausible until the first
+// write on the component has definitely completed.
+func Check[V comparable](n int, ops []Op[V]) error {
+	perComp := make([][]write[V], n)
+	for _, op := range ops {
+		if op.Kind != Update {
+			continue
+		}
+		if len(op.Vals) != len(op.Comps) {
+			return fmt.Errorf("spec: malformed update op: %d values for %d components", len(op.Vals), len(op.Comps))
+		}
+		for i, c := range op.Comps {
+			if c < 0 || c >= n {
+				return fmt.Errorf("spec: update names component %d out of range [0,%d)", c, n)
+			}
+			perComp[c] = append(perComp[c], write[V]{start: op.Start, end: op.End, val: op.Vals[i]})
+		}
+	}
+	// Sort each component's writes by start and precompute the suffix
+	// minimum of end times, so "earliest definite overwrite after w" is a
+	// binary search away.
+	sufMinEnd := make([][]int64, n)
+	for c := range perComp {
+		ws := perComp[c]
+		sort.Slice(ws, func(i, j int) bool { return ws[i].start < ws[j].start })
+		suf := make([]int64, len(ws)+1)
+		suf[len(ws)] = math.MaxInt64
+		for i := len(ws) - 1; i >= 0; i-- {
+			suf[i] = min(suf[i+1], ws[i].end)
+		}
+		sufMinEnd[c] = suf
+	}
+	var zero V
+	for si, op := range ops {
+		if op.Kind != Scan {
+			continue
+		}
+		if len(op.Vals) != len(op.Comps) {
+			return fmt.Errorf("spec: malformed scan op: %d values for %d components", len(op.Vals), len(op.Comps))
+		}
+		// Per observed component, the set of feasibility windows (one per
+		// candidate write of the observed value), clipped to the scan.
+		cands := make([][]interval, len(op.Comps))
+		for i, c := range op.Comps {
+			if c < 0 || c >= n {
+				return fmt.Errorf("spec: scan names component %d out of range [0,%d)", c, n)
+			}
+			v := op.Vals[i]
+			var ivs []interval
+			if v == zero {
+				// Initial value: plausible until any write definitely completed.
+				ivs = append(ivs, interval{lo: math.MinInt64, hi: sufMinEnd[c][0]})
+			}
+			ws := perComp[c]
+			for _, w := range ws {
+				if w.val != v {
+					continue
+				}
+				// First write definitely after w: start > w.end.
+				k := sort.Search(len(ws), func(j int) bool { return ws[j].start > w.end })
+				ivs = append(ivs, interval{lo: w.start, hi: sufMinEnd[c][k]})
+			}
+			var clipped []interval
+			for _, iv := range ivs {
+				lo := max(iv.lo, op.Start)
+				hi := min(iv.hi, op.End)
+				if lo <= hi {
+					clipped = append(clipped, interval{lo: lo, hi: hi})
+				}
+			}
+			if len(clipped) == 0 {
+				return fmt.Errorf("spec: scan %d (interval [%d,%d]) observed %v on component %d, which no admissible write produced",
+					si, op.Start, op.End, v, c)
+			}
+			cands[i] = clipped
+		}
+		if !commonInstant(cands) {
+			return fmt.Errorf("spec: scan %d (interval [%d,%d]) over components %v observed %v: no single instant admits all values (torn scan)",
+				si, op.Start, op.End, op.Comps, op.Vals)
+		}
+	}
+	return nil
+}
+
+// commonInstant reports whether some instant t is covered by at least one
+// interval of every component's candidate list. Candidate instants are the
+// interval lower bounds (coverage can only begin at a lower bound).
+func commonInstant(cands [][]interval) bool {
+	var points []int64
+	for _, ivs := range cands {
+		for _, iv := range ivs {
+			points = append(points, iv.lo)
+		}
+	}
+	for _, t := range points {
+		ok := true
+		for _, ivs := range cands {
+			covered := false
+			for _, iv := range ivs {
+				if iv.lo <= t && t <= iv.hi {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
