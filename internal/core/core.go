@@ -12,7 +12,7 @@ type Object[V any] = snapshot.Object[V]
 // ErrBadComponent reports an invalid component-ID set.
 var ErrBadComponent = snapshot.ErrBadComponent
 
-// NewLockFree returns the lock-free partial snapshot object.
+// NewLockFree returns the wait-free partial snapshot object.
 func NewLockFree[V any](n int) Object[V] { return snapshot.NewLockFree[V](n) }
 
 // NewRWMutex returns the coarse lock-based reference implementation.

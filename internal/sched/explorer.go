@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// maxExploreSteps bounds a single exploration so a livelocked schedule (a
+// bug this harness exists to catch) fails with the trace in hand instead of
+// hanging the suite. Real explorations run a few hundred steps.
+const maxExploreSteps = 1_000_000
+
+// Explorer drives every goroutine spawned on its Controller under a
+// serialised pseudo-random schedule: at each step exactly one goroutine runs
+// from its current yield point to its next, and the seeded PRNG picks which.
+// Because nothing else executes between yield points, the interleaving — and
+// therefore any failure — is a deterministic function of the seed: rerunning
+// with the same seed replays the identical schedule.
+//
+// Usage: NewExplorer(seed), spawn workers via e.C.Spawn, then e.Run().
+type Explorer struct {
+	C     *Controller
+	rng   *rand.Rand
+	trace []string
+}
+
+// NewExplorer returns an explorer whose schedule is fully determined by
+// seed.
+func NewExplorer(seed int64) *Explorer {
+	return &Explorer{C: NewController(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Run executes all spawned goroutines to completion one scheduling step at
+// a time and returns the number of steps taken. It must not be called
+// before every Spawn the test intends to control has happened: a goroutine
+// spawned after Run starts would race the serialised schedule.
+func (e *Explorer) Run() int {
+	steps := 0
+	for {
+		runnable := e.C.AwaitAllParked()
+		if len(runnable) == 0 {
+			return steps
+		}
+		if steps >= maxExploreSteps {
+			panic(fmt.Sprintf("sched: exploration exceeded %d steps (livelock?); last steps:\n%s",
+				maxExploreSteps, e.tail(40)))
+		}
+		name := runnable[e.rng.Intn(len(runnable))]
+		p, arg, ok := e.C.Step(name)
+		if ok {
+			e.trace = append(e.trace, fmt.Sprintf("%s@%s(%d)", name, p, arg))
+		} else {
+			e.trace = append(e.trace, name+"@done")
+		}
+		steps++
+	}
+}
+
+// Trace returns the schedule taken so far, one "name@point(arg)" entry per
+// step. Identical seeds produce identical traces.
+func (e *Explorer) Trace() []string {
+	return append([]string(nil), e.trace...)
+}
+
+func (e *Explorer) tail(n int) string {
+	start := len(e.trace) - n
+	if start < 0 {
+		start = 0
+	}
+	out := ""
+	for _, s := range e.trace[start:] {
+		out += "  " + s + "\n"
+	}
+	return out
+}

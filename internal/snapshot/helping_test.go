@@ -2,62 +2,88 @@ package snapshot
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"partialsnapshot/internal/sched"
+	"partialsnapshot/internal/spec"
 )
 
-// TestHelpAdoptionDeterministic drives the paper's helping mechanism
-// end-to-end without relying on scheduler interleaving (which few-core
-// machines rarely produce): a hook between every double collect's two
-// halves performs an overlapping Update, so the scanner can never get a
-// clean double collect. The scan must still terminate — by announcing
-// itself, being helped by the obstructing updater, and adopting the
-// helper's embedded view.
-func TestHelpAdoptionDeterministic(t *testing.T) {
-	o := NewLockFree[int64](4)
+// TestHelpAdoptionScripted drives the helping mechanism end-to-end under a
+// fully scripted schedule: a scanner is obstructed in both its fast-path and
+// announced double collects, the obstructing updater posts help before its
+// store, and the scanner adopts the helped view — with provenance tying the
+// view back to the exact update that posted it.
+func TestHelpAdoptionScripted(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewLockFree[int64](4).Instrument(ctl)
 	if err := o.Update([]int{0, 1}, []int64{1, 2}); err != nil {
 		t.Fatal(err)
 	}
-	calls := 0
-	scanTestHook = func() {
-		calls++
-		if err := o.Update([]int{0}, []int64{int64(100 + calls)}); err != nil {
-			t.Errorf("hook update: %v", err)
-		}
-	}
-	defer func() { scanTestHook = nil }()
 
-	vals, err := o.PartialScan([]int{0, 1})
+	var vals []int64
+	var info ScanInfo
+	ctl.Spawn("scanner", func() {
+		var err error
+		vals, info, err = o.PartialScanInfo([]int{0, 1})
+		if err != nil {
+			t.Errorf("PartialScanInfo: %v", err)
+		}
+	})
+
+	// Obstruct the fast-path double collect.
+	if _, ok := ctl.StepUntil("scanner", sched.PostFirstCollect); !ok {
+		t.Fatal("scanner finished before its first collect gap")
+	}
+	if err := o.Update([]int{0}, []int64{100}); err != nil {
+		t.Fatal(err)
+	}
+	// Scanner fails, announces, parks between the announced loop's collects.
+	if _, ok := ctl.StepUntil("scanner", sched.PostAnnounce); !ok {
+		t.Fatal("scanner finished without announcing")
+	}
+	if _, ok := ctl.StepUntil("scanner", sched.PostFirstCollect); !ok {
+		t.Fatal("scanner finished before its announced collect gap")
+	}
+	// The obstructing update must now help before it stores: its embedded
+	// fast-path collect is clean (the scanner is parked), so help lands.
+	helperOp, err := o.UpdateOp([]int{0}, []int64{101})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The adopted view must be one of the obstructing writes' values on
-	// component 0 and the untouched value on component 1.
-	if vals[0] < 100 || vals[0] > int64(100+calls) || vals[1] != 2 {
-		t.Fatalf("adopted view = %v after %d obstructions", vals, calls)
+	// Scanner's second collect fails, finds the help, adopts it.
+	if _, ok := ctl.StepUntil("scanner", sched.PreAdopt); !ok {
+		t.Fatal("scanner finished without adopting help")
+	}
+	ctl.RunToCompletion("scanner")
+
+	// The adopted view was collected by the helper before its 101 store.
+	if vals[0] != 100 || vals[1] != 2 {
+		t.Fatalf("adopted view = %v, want [100 2]", vals)
+	}
+	if !info.Adopted || info.HelperOp != helperOp || info.Depth != 1 {
+		t.Fatalf("info = %+v, want adoption from op %d at depth 1", info, helperOp)
 	}
 	st := o.Stats()
-	if st.HelpsAdopted != 1 {
-		t.Fatalf("scan terminated without adopting help: %+v", st)
+	if st.HelpsPosted != 1 || st.HelpsAdopted != 1 || st.ScanRetries < 2 {
+		t.Fatalf("stats = %+v, want 1 help posted, 1 adopted, >=2 retries", st)
 	}
-	if st.HelpsPosted == 0 {
-		t.Fatalf("obstructing updater never posted help: %+v", st)
+	if st.LiveAnnouncements != 0 {
+		t.Fatalf("LiveAnnouncements = %d after quiescence, want 0", st.LiveAnnouncements)
 	}
-	if st.ScanRetries == 0 {
-		t.Fatalf("hook failed to obstruct the double collect: %+v", st)
-	}
-	// The announcement must have been retired: a later update walks the
-	// stack and unlinks the completed record.
+	// The announcement must have been retired and the next stack walk must
+	// physically unlink it.
 	if err := o.Update([]int{0}, []int64{999}); err != nil {
 		t.Fatal(err)
 	}
-	if head := o.scans.Load(); head != nil {
-		t.Fatalf("completed scan record still announced: %+v", head)
+	if n := o.stackLen(); n != 0 {
+		t.Fatalf("announcement stack still holds %d records", n)
 	}
 }
 
 // TestUpdaterHelpsOnlyIntersectingScans checks locality of helping: an
 // announced scan is helped by an overlapping update and ignored by a
-// disjoint one.
+// disjoint one, and the posted view carries the helper's op id.
 func TestUpdaterHelpsOnlyIntersectingScans(t *testing.T) {
 	o := NewLockFree[int64](8)
 	rec := &scanRecord[int64]{ids: []int{0, 1}, mask: maskOf(8, []int{0, 1})}
@@ -69,7 +95,8 @@ func TestUpdaterHelpsOnlyIntersectingScans(t *testing.T) {
 	if rec.help.Load() != nil {
 		t.Fatal("disjoint update posted help")
 	}
-	if err := o.Update([]int{1}, []int64{11}); err != nil {
+	op, err := o.UpdateOp([]int{1}, []int64{11})
+	if err != nil {
 		t.Fatal(err)
 	}
 	h := rec.help.Load()
@@ -77,40 +104,191 @@ func TestUpdaterHelpsOnlyIntersectingScans(t *testing.T) {
 		t.Fatal("overlapping update did not post help")
 	}
 	// Help was collected before the cells were written, so it shows the
-	// pre-update state of components 0 and 1.
-	if (*h)[0] != 0 || (*h)[1] != 0 {
-		t.Fatalf("help view = %v, want pre-update [0 0]", *h)
+	// pre-update state of components 0 and 1, stamped with the helper's id.
+	if h.vals[0] != 0 || h.vals[1] != 0 {
+		t.Fatalf("help view = %v, want pre-update [0 0]", h.vals)
 	}
-	rec.done.Store(true)
+	if h.by != op || h.depth != 1 {
+		t.Fatalf("help provenance = by %d depth %d, want by %d depth 1", h.by, h.depth, op)
+	}
+	o.retire(rec)
+	if st := o.Stats(); st.LiveAnnouncements != 0 {
+		t.Fatalf("LiveAnnouncements = %d after retire, want 0", st.LiveAnnouncements)
+	}
 }
 
-// TestConcurrentAdoptionUnderForcedObstruction layers real concurrency on
-// the forced-obstruction hook: many scanners all permanently obstructed,
-// all terminating via adoption, with the race detector watching the
-// announce stack and help CAS.
-func TestConcurrentAdoptionUnderForcedObstruction(t *testing.T) {
-	o := NewLockFree[int64](4)
-	var mu sync.Mutex
-	n := 0
-	scanTestHook = func() {
-		mu.Lock()
-		n++
-		v := int64(n)
-		mu.Unlock()
-		if err := o.Update([]int{0}, []int64{v}); err != nil {
-			t.Errorf("hook update: %v", err)
+// TestOneUpdaterHelpsMultipleScanners parks two scanners on disjoint
+// announced sets and lets a single batch update that intersects both post
+// help to each in one stack walk.
+func TestOneUpdaterHelpsMultipleScanners(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewLockFree[int64](4).Instrument(ctl)
+	if err := o.Update([]int{0, 1, 2, 3}, []int64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	infos := make([]ScanInfo, 2)
+	views := make([][]int64, 2)
+	spawnScanner := func(i int, ids []int, obstruct int, obstructVal int64) {
+		name := []string{"s0", "s1"}[i]
+		ctl.Spawn(name, func() {
+			var err error
+			views[i], infos[i], err = o.PartialScanInfo(ids)
+			if err != nil {
+				t.Errorf("PartialScanInfo%v: %v", ids, err)
+			}
+		})
+		if _, ok := ctl.StepUntil(name, sched.PostFirstCollect); !ok {
+			t.Fatalf("%s finished early", name)
+		}
+		if err := o.Update([]int{obstruct}, []int64{obstructVal}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := ctl.StepUntil(name, sched.PostAnnounce); !ok {
+			t.Fatalf("%s finished without announcing", name)
+		}
+		if _, ok := ctl.StepUntil(name, sched.PostFirstCollect); !ok {
+			t.Fatalf("%s finished before its announced collect gap", name)
 		}
 	}
-	defer func() { scanTestHook = nil }()
+	spawnScanner(0, []int{0, 1}, 0, 10)
+	// The second scanner's obstruction ({2}) is disjoint from s0's announced
+	// set, so it must not help s0.
+	spawnScanner(1, []int{2, 3}, 2, 30)
+	if st := o.Stats(); st.HelpsPosted != 0 {
+		t.Fatalf("disjoint obstructions posted help: %+v", st)
+	}
 
+	// One batch intersecting both announced sets helps both records, then
+	// obstructs both scanners with its stores.
+	batchOp, err := o.UpdateOp([]int{0, 2}, []int64{11, 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"s0", "s1"} {
+		if _, ok := ctl.StepUntil(name, sched.PreAdopt); !ok {
+			t.Fatalf("%s finished without adopting", name)
+		}
+		ctl.RunToCompletion(name)
+	}
+
+	if views[0][0] != 10 || views[0][1] != 2 {
+		t.Fatalf("s0 adopted %v, want [10 2]", views[0])
+	}
+	if views[1][0] != 30 || views[1][1] != 4 {
+		t.Fatalf("s1 adopted %v, want [30 4]", views[1])
+	}
+	for i, info := range infos {
+		if !info.Adopted || info.HelperOp != batchOp {
+			t.Fatalf("s%d info = %+v, want adoption from batch op %d", i, info, batchOp)
+		}
+	}
+	st := o.Stats()
+	if st.HelpsPosted != 2 || st.HelpsAdopted != 2 {
+		t.Fatalf("stats = %+v, want 2 helps posted and adopted", st)
+	}
+	if st.LiveAnnouncements != 0 {
+		t.Fatalf("LiveAnnouncements = %d after quiescence, want 0", st.LiveAnnouncements)
+	}
+}
+
+// TestHalfAppliedBatchObservable pins down the documented batch semantics:
+// a multi-component Update is a sequence of per-component atomic stores,
+// and a partial scan landing between two stores observes the batch half
+// applied. The recorded history is still accepted by the spec, which
+// models exactly these semantics.
+func TestHalfAppliedBatchObservable(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewLockFree[int64](2).Instrument(ctl)
+	rec := &spec.Recorder[int64]{}
+
+	var batchOp uint64
+	uStart := rec.Now()
+	ctl.Spawn("updater", func() {
+		var err error
+		batchOp, err = o.UpdateOp([]int{0, 1}, []int64{7, 8})
+		if err != nil {
+			t.Errorf("UpdateOp: %v", err)
+		}
+	})
+	// Park after component 0's store, before component 1's.
+	if arg, ok := ctl.StepUntil("updater", sched.PreCellStore); !ok || arg != 0 {
+		t.Fatalf("first store park arg = %d (ok=%v), want 0", arg, ok)
+	}
+	if p, arg, ok := ctl.Step("updater"); !ok || p != sched.PreCellStore || arg != 1 {
+		t.Fatalf("second park = %v(%d) ok=%v, want pre-cell-store(1)", p, arg, ok)
+	}
+
+	sStart := rec.Now()
+	mid, err := o.PartialScan([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: sStart, End: rec.Now(), Comps: []int{0, 1}, Vals: mid})
+	if mid[0] != 7 || mid[1] != 0 {
+		t.Fatalf("mid-batch scan = %v, want half-applied [7 0]", mid)
+	}
+
+	ctl.RunToCompletion("updater")
+	rec.Add(spec.Op[int64]{Kind: spec.Update, Start: uStart, End: rec.Now(),
+		Comps: []int{0, 1}, Vals: []int64{7, 8}, UpdateID: batchOp})
+	after, err := o.PartialScan([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0] != 7 || after[1] != 8 {
+		t.Fatalf("post-batch scan = %v, want [7 8]", after)
+	}
+	if err := spec.Check(2, rec.Ops()); err != nil {
+		t.Fatalf("half-applied batch history rejected by spec: %v", err)
+	}
+}
+
+// obstructingSched is a Scheduler that is deliberately NOT a Controller: it
+// never parks anybody. It performs an overlapping Update inside every
+// level-0 double-collect gap, executed by whatever goroutine is scanning,
+// so scanner goroutines stay genuinely parallel and the help-CAS, adoption
+// and stack-unlink paths race for real under the race detector — coverage a
+// serialised controller script cannot provide.
+type obstructingSched struct {
+	o *LockFree[int64]
+	n atomic.Int64
+}
+
+func (s *obstructingSched) Yield(p sched.Point, arg int) {
+	if p == sched.PostFirstCollect && arg == 0 {
+		// Updates triggered here re-enter Yield only at other points or at
+		// embedded levels (arg >= 1), so there is no recursion.
+		if err := s.o.Update([]int{0}, []int64{s.n.Add(1)}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestConcurrentAdoptionUnderForcedObstruction runs many parallel scanners
+// whose every level-0 double collect is obstructed, so no scan can ever
+// complete a clean collect of its own: each must terminate by adopting
+// help. This exercises announce/help/adopt/unlink under true goroutine
+// concurrency (run with -race); the scripted tests above cover the same
+// paths deterministically but serialised.
+func TestConcurrentAdoptionUnderForcedObstruction(t *testing.T) {
+	o := NewLockFree[int64](4)
+	o.Instrument(&obstructingSched{o: o})
+
+	const scanners, scansEach = 8, 50
 	var wg sync.WaitGroup
-	for s := 0; s < 8; s++ {
+	for s := 0; s < scanners; s++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for k := 0; k < 50; k++ {
-				if _, err := o.PartialScan([]int{0, 1}); err != nil {
-					t.Errorf("PartialScan: %v", err)
+			for k := 0; k < scansEach; k++ {
+				_, info, err := o.PartialScanInfo([]int{0, 1})
+				if err != nil {
+					t.Errorf("PartialScanInfo: %v", err)
+					return
+				}
+				if !info.Adopted {
+					t.Errorf("scan completed without adoption despite forced obstruction: %+v", info)
 					return
 				}
 			}
@@ -121,8 +299,93 @@ func TestConcurrentAdoptionUnderForcedObstruction(t *testing.T) {
 		return
 	}
 	st := o.Stats()
-	if st.HelpsAdopted == 0 || st.HelpsPosted == 0 {
-		t.Fatalf("forced obstruction never exercised helping: %+v", st)
+	if st.HelpsAdopted < scanners*scansEach || st.HelpsPosted == 0 {
+		t.Fatalf("forced obstruction under-exercised helping: %+v", st)
+	}
+	if st.LiveAnnouncements != 0 {
+		t.Fatalf("forced obstruction leaked %d live announcements", st.LiveAnnouncements)
 	}
 	t.Logf("forced-obstruction stats: %+v", st)
+}
+
+// TestAnnouncementStackHygiene checks that retired records are lazily
+// unlinked by later stack walks and that the LiveAnnouncements gauge tracks
+// announce/retire exactly, both in a scripted sequence and after a real
+// contention storm.
+func TestAnnouncementStackHygiene(t *testing.T) {
+	o := NewLockFree[int64](8)
+	recs := make([]*scanRecord[int64], 3)
+	for i := range recs {
+		recs[i] = &scanRecord[int64]{ids: []int{0, 1}, mask: maskOf(8, []int{0, 1})}
+		o.announce(recs[i])
+	}
+	if n, live := o.stackLen(), o.Stats().LiveAnnouncements; n != 3 || live != 3 {
+		t.Fatalf("after 3 announces: stackLen=%d live=%d, want 3/3", n, live)
+	}
+	// Retire the middle record: the gauge drops immediately, the link stays
+	// until the next walk.
+	o.retire(recs[1])
+	if live := o.Stats().LiveAnnouncements; live != 2 {
+		t.Fatalf("live = %d after one retire, want 2", live)
+	}
+	// A disjoint update's walk unlinks the retired record without helping
+	// the live ones.
+	if err := o.Update([]int{7}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if n := o.stackLen(); n != 2 {
+		t.Fatalf("stackLen = %d after walk, want 2 (retired record unlinked)", n)
+	}
+	o.retire(recs[0])
+	o.retire(recs[2])
+	if err := o.Update([]int{7}, []int64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if n, live := o.stackLen(), o.Stats().LiveAnnouncements; n != 0 || live != 0 {
+		t.Fatalf("after all retired + walk: stackLen=%d live=%d, want 0/0", n, live)
+	}
+
+	// Contention storm (run with -race): scanners and updaters hammer a tiny
+	// component set; afterwards no record may remain live and one walk must
+	// drain the stack completely.
+	storm := NewLockFree[int64](2)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 300; k++ {
+				if err := storm.Update([]int{0, 1}, []int64{int64(w), int64(k)}); err != nil {
+					t.Errorf("Update: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 300; k++ {
+				if _, err := storm.PartialScan([]int{0, 1}); err != nil {
+					t.Errorf("PartialScan: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if live := storm.Stats().LiveAnnouncements; live != 0 {
+		t.Fatalf("storm leaked %d live announcements", live)
+	}
+	if err := storm.Update([]int{0}, []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if n := storm.stackLen(); n != 0 {
+		t.Fatalf("stack holds %d records after quiescent walk, want 0", n)
+	}
+	t.Logf("storm stats: %+v", storm.Stats())
 }

@@ -1,6 +1,10 @@
 package snapshot
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"partialsnapshot/internal/sched"
+)
 
 // cell is one immutable register value for a single component. Every write
 // allocates a fresh cell, so pointer identity distinguishes writes: a
@@ -13,48 +17,50 @@ type cell[V any] struct {
 	op  uint64 // unique id of the Update that wrote this cell; 0 = initial
 }
 
-// scanRecord is a scanner's announcement: "I am reading this component
-// set". Updaters that are about to overwrite an announced component first
-// try to produce a clean embedded collect of the announced set and post it
-// in help; an obstructed scanner adopts that view instead of retrying.
+// scanRecord is one announcement: "somebody needs a consistent view of this
+// component set". Level 0 records are posted by PartialScan; level k >= 1
+// records are posted by the embedded scan of an updater helping a level-
+// (k-1) record, so records form the help chains of the paper's recursive
+// construction.
 type scanRecord[V any] struct {
-	ids  []int    // announced components, in the scanner's order
-	mask []uint64 // bitset over [0,n) for O(n/64) intersection tests
-	help atomic.Pointer[[]V]
-	done atomic.Bool
-	next atomic.Pointer[scanRecord[V]]
+	ids   []int    // announced components, in the scanner's order
+	mask  []uint64 // bitset over [0,n) for O(n/64) intersection tests
+	level int      // help-chain depth of this record
+	help  atomic.Pointer[helpView[V]]
+	done  atomic.Bool
+	next  atomic.Pointer[scanRecord[V]]
 }
 
-// scanTestHook, when non-nil, runs between the two collects of a scanner's
-// double collect (never inside an updater's embedded collect). Tests use it
-// to obstruct a scan deterministically and drive the helping path, which
-// rarely interleaves naturally on few-core machines.
-var scanTestHook func()
+// helpView is a consistent view of a record's component set posted by a
+// helping updater, stamped with provenance: which update posted it and how
+// deep in the help chain the clean double collect that produced it ran.
+type helpView[V any] struct {
+	vals  []V
+	by    uint64 // op id of the Update that posted this view
+	depth int    // chain level of the clean double collect behind the view
+}
 
-// maxHelpAttempts bounds the embedded collect an updater performs on behalf
-// of an announced scan, so helping never blocks an updater for long. The
-// bound is what makes this implementation lock-free rather than wait-free:
-// under a sufficiently adversarial schedule every helper can exhaust its
-// attempts and a scanner can retry unboundedly (though some operation
-// always completes). The paper's full construction makes helping itself
-// wait-free via recursive embedded scans; restoring that is a ROADMAP item.
-const maxHelpAttempts = 8
-
-// LockFree is the lock-free partial snapshot object (see maxHelpAttempts
-// for why it is not fully wait-free). Zero value is not usable; call
-// NewLockFree.
+// LockFree is the paper's wait-free partial snapshot object. The name is
+// historical (the type began life with bounded, lock-free-only helping);
+// since helping became the unbounded recursive protocol of the paper, every
+// PartialScan completes in a bounded number of its own steps plus adopted
+// help — see embeddedScan for the termination argument. Zero value is not
+// usable; call NewLockFree.
 type LockFree[V any] struct {
 	cells []atomic.Pointer[cell[V]]
 	ops   atomic.Uint64                 // unique update op ids
 	scans atomic.Pointer[scanRecord[V]] // Treiber-style stack of announcements
 	all   []int                         // cached [0..n) for Scan
+	sched sched.Scheduler               // nil outside schedule-injection tests
 
 	scanRetries  atomic.Uint64
 	helpsPosted  atomic.Uint64
 	helpsAdopted atomic.Uint64
+	liveAnnounce atomic.Int64
+	maxDepth     atomic.Int64
 }
 
-// NewLockFree returns a lock-free partial snapshot object with n components,
+// NewLockFree returns a wait-free partial snapshot object with n components,
 // each initialised to the zero value of V.
 func NewLockFree[V any](n int) *LockFree[V] {
 	if n <= 0 {
@@ -71,68 +77,117 @@ func NewLockFree[V any](n int) *LockFree[V] {
 	return o
 }
 
+// Instrument installs a schedule-injection scheduler (see internal/sched)
+// and returns o for chaining. Call before the object is shared; it is not
+// safe to race with operations.
+func (o *LockFree[V]) Instrument(s sched.Scheduler) *LockFree[V] {
+	o.sched = s
+	return o
+}
+
+func (o *LockFree[V]) yield(p sched.Point, arg int) {
+	if o.sched != nil {
+		o.sched.Yield(p, arg)
+	}
+}
+
 func (o *LockFree[V]) Components() int { return len(o.cells) }
 
-// Update writes vals[i] into component ids[i]. Before touching any cell it
-// helps every announced scan whose component set intersects ids, so a
-// scanner this write obstructs normally finds help already posted. The
-// help attempt is bounded (maxHelpAttempts), so this is best-effort, not a
-// guarantee — the scanner's own retry loop is the fallback.
+// Update writes vals[i] into component ids[i], as a sequence of per-
+// component atomic stores (see the package comment for batch semantics).
+// Before touching any cell it helps every announced scan whose component
+// set intersects ids to completion — helping is unbounded, which is what
+// guarantees an obstructed scanner always finds adoptable help.
 func (o *LockFree[V]) Update(ids []int, vals []V) error {
+	_, err := o.UpdateOp(ids, vals)
+	return err
+}
+
+// UpdateOp is Update, additionally returning the unique operation id this
+// update stamped into every cell it wrote. Provenance-aware tests match the
+// id against ScanInfo.HelperOp and spec.Op.UpdateID.
+func (o *LockFree[V]) UpdateOp(ids []int, vals []V) (uint64, error) {
 	if err := validateArgs(len(o.cells), ids, vals); err != nil {
-		return err
+		return 0, err
 	}
 	op := o.ops.Add(1)
-	o.helpOverlappingScans(ids)
+	o.helpOverlappingScans(ids, op)
 	for i, id := range ids {
+		o.yield(sched.PreCellStore, id)
 		o.cells[id].Store(&cell[V]{val: vals[i], op: op})
 	}
-	return nil
+	return op, nil
+}
+
+// ScanInfo describes how a partial scan completed.
+type ScanInfo struct {
+	// Adopted is true when the scan returned a view posted by a helping
+	// updater rather than one of its own double collects.
+	Adopted bool
+	// HelperOp is the op id of the Update that posted the adopted view
+	// (0 when Adopted is false).
+	HelperOp uint64
+	// Depth is the help-chain level of the clean double collect that
+	// produced the returned view: 0 for the scan's own collect, k >= 1 when
+	// the view came from a level-k embedded scan.
+	Depth int
+	// Retries counts this scan's failed double collects.
+	Retries int
 }
 
 // PartialScan returns an atomic view of the named components: either a
 // clean double collect (the exact memory state at an instant between the
-// two collects) or a view posted by a helping updater (itself a clean
-// double collect taken inside this scan's interval).
+// two collects) or a view posted by a helping updater (itself rooted in a
+// clean double collect taken inside this scan's interval).
 func (o *LockFree[V]) PartialScan(ids []int) ([]V, error) {
+	vals, _, err := o.PartialScanInfo(ids)
+	return vals, err
+}
+
+// PartialScanInfo is PartialScan, additionally reporting how the scan
+// completed.
+func (o *LockFree[V]) PartialScanInfo(ids []int) ([]V, ScanInfo, error) {
+	var info ScanInfo
 	if err := validateIDs(len(o.cells), ids); err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	a := make([]*cell[V], len(ids))
 	b := make([]*cell[V], len(ids))
 	// Fast path: an uncontended scan needs no announcement.
 	o.collect(ids, a)
-	if scanTestHook != nil {
-		scanTestHook()
-	}
+	o.yield(sched.PostFirstCollect, 0)
 	o.collect(ids, b)
 	if sameCells(a, b) {
-		return cellVals(b), nil
+		return cellVals(b), info, nil
 	}
 	o.scanRetries.Add(1)
+	info.Retries++
 	rec := &scanRecord[V]{
 		ids:  append([]int(nil), ids...),
 		mask: maskOf(len(o.cells), ids),
 	}
 	o.announce(rec)
-	defer rec.done.Store(true)
+	defer o.retire(rec)
+	o.yield(sched.PostAnnounce, 0)
 	for {
 		o.collect(rec.ids, a)
-		if scanTestHook != nil {
-			scanTestHook()
-		}
+		o.yield(sched.PostFirstCollect, 0)
 		o.collect(rec.ids, b)
 		if sameCells(a, b) {
-			return cellVals(b), nil
-		}
-		// The collect was obstructed. An updater that wrote one of our
-		// components after seeing the announcement normally posted help
-		// before writing, so check for an adoptable view.
-		if h := rec.help.Load(); h != nil {
-			o.helpsAdopted.Add(1)
-			return append([]V(nil), (*h)...), nil
+			return cellVals(b), info, nil
 		}
 		o.scanRetries.Add(1)
+		info.Retries++
+		// The collect was obstructed. Any update that wrote one of our
+		// components after seeing the announcement posted help first, so
+		// after finitely many failures an adoptable view is waiting here
+		// (see embeddedScan for why the help itself always completes).
+		if h := rec.help.Load(); h != nil {
+			o.yield(sched.PreAdopt, 0)
+			o.helpsAdopted.Add(1)
+			info.Adopted, info.HelperOp, info.Depth = true, h.by, h.depth
+			return append([]V(nil), h.vals...), info, nil
+		}
 	}
 }
 
@@ -140,27 +195,40 @@ func (o *LockFree[V]) PartialScan(ids []int) ([]V, error) {
 func (o *LockFree[V]) Scan() ([]V, error) { return o.PartialScan(o.all) }
 
 // Stats exposes internal progress counters, used by tests to demonstrate
-// the paper's locality property (disjoint operations never retry or help).
+// the paper's locality property (disjoint operations never retry or help)
+// and the hygiene of the announcement stack.
 type Stats struct {
-	// ScanRetries counts failed double collects across all scans.
+	// ScanRetries counts failed double collects across all scans, embedded
+	// ones included.
 	ScanRetries uint64
-	// HelpsPosted counts embedded views posted by updaters.
+	// HelpsPosted counts views posted by helping updaters.
 	HelpsPosted uint64
-	// HelpsAdopted counts scans that returned a helped view.
+	// HelpsAdopted counts scans (and embedded scans) that returned a helped
+	// view.
 	HelpsAdopted uint64
+	// LiveAnnouncements is a gauge of records currently announced and not
+	// yet retired. It returns to zero whenever no operation is in flight;
+	// anything else is a leaked record.
+	LiveAnnouncements int64
+	// MaxHelpDepth is the deepest help-chain level at which a view was
+	// posted over the object's lifetime (0 = helping never recursed).
+	MaxHelpDepth int64
 }
 
 func (o *LockFree[V]) Stats() Stats {
 	return Stats{
-		ScanRetries:  o.scanRetries.Load(),
-		HelpsPosted:  o.helpsPosted.Load(),
-		HelpsAdopted: o.helpsAdopted.Load(),
+		ScanRetries:       o.scanRetries.Load(),
+		HelpsPosted:       o.helpsPosted.Load(),
+		HelpsAdopted:      o.helpsAdopted.Load(),
+		LiveAnnouncements: o.liveAnnounce.Load(),
+		MaxHelpDepth:      o.maxDepth.Load(),
 	}
 }
 
 // announce pushes rec onto the announcement stack, opportunistically
 // unlinking completed records at the head.
 func (o *LockFree[V]) announce(rec *scanRecord[V]) {
+	o.liveAnnounce.Add(1)
 	for {
 		head := o.scans.Load()
 		if head != nil && head.done.Load() {
@@ -174,10 +242,29 @@ func (o *LockFree[V]) announce(rec *scanRecord[V]) {
 	}
 }
 
+// retire marks rec completed; the record stays linked until the next stack
+// walk unlinks it lazily.
+func (o *LockFree[V]) retire(rec *scanRecord[V]) {
+	rec.done.Store(true)
+	o.liveAnnounce.Add(-1)
+}
+
+// stackLen counts records currently linked in the announcement stack,
+// retired-but-not-yet-unlinked ones included (test helper).
+func (o *LockFree[V]) stackLen() int {
+	n := 0
+	for cur := o.scans.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}
+
 // helpOverlappingScans walks the announcement stack and, for every live
-// scan whose set intersects ids, tries to post an embedded collect of that
-// scan's set. Completed records encountered on the way are unlinked.
-func (o *LockFree[V]) helpOverlappingScans(ids []int) {
+// record whose set intersects ids, completes an embedded scan of that
+// record's set and posts the view. Completed records encountered on the way
+// are unlinked. The stack is newest-first, so the deepest records of any
+// help chain are served before the records that wait on them.
+func (o *LockFree[V]) helpOverlappingScans(ids []int, op uint64) {
 	cur := o.scans.Load()
 	if cur == nil {
 		return // common case: no scanner announced, zero overhead
@@ -196,9 +283,12 @@ func (o *LockFree[V]) helpOverlappingScans(ids []int) {
 			continue
 		}
 		if intersects(mask, cur.mask) && cur.help.Load() == nil {
-			if view, ok := o.collectFor(cur); ok {
-				if cur.help.CompareAndSwap(nil, &view) {
+			o.yield(sched.PreHelpScan, cur.level+1)
+			if view, depth, ok := o.embeddedScan(cur, op); ok {
+				o.yield(sched.PreHelpPost, cur.level)
+				if cur.help.CompareAndSwap(nil, &helpView[V]{vals: view, by: op, depth: depth}) {
 					o.helpsPosted.Add(1)
+					atomicMax(&o.maxDepth, int64(depth))
 				}
 			}
 		}
@@ -207,28 +297,72 @@ func (o *LockFree[V]) helpOverlappingScans(ids []int) {
 	}
 }
 
-// collectFor attempts a bounded clean double collect of rec's component
-// set, bailing out early if the scan finished or someone else already
-// posted help.
-func (o *LockFree[V]) collectFor(rec *scanRecord[V]) ([]V, bool) {
-	a := make([]*cell[V], len(rec.ids))
-	b := make([]*cell[V], len(rec.ids))
-	for attempt := 0; attempt < maxHelpAttempts; attempt++ {
-		if rec.done.Load() || rec.help.Load() != nil {
-			return nil, false
+// embeddedScan produces a consistent view of target's component set on
+// behalf of a helping updater. This is the paper's recursive helping: the
+// embedded scan announces a record of its own (at target.level+1), so
+// updaters that obstruct the helper are in turn obliged to help it, and
+// help records form a chain.
+//
+// Termination argument (why unbounded looping here cannot run forever): a
+// double collect only fails when some update stored a cell between the two
+// collects. An update that began after rec was announced walks the stack
+// before storing, finds rec, and posts help to it — so after at most the
+// finitely many updates already past their stack walk when rec was pushed,
+// every further obstruction implies help arrives on rec and the loop exits
+// via adoption. The same argument applies to the helper of the helper; the
+// chain is finite because each level is occupied by a distinct concurrent
+// update and the deepest level, obstructed by nobody new, completes by a
+// clean double collect.
+//
+// ok=false means the target no longer needs help (its scan completed or
+// somebody else posted first) — a need-based exit, not a bounded bail-out.
+func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, depth int, ok bool) {
+	a := make([]*cell[V], len(target.ids))
+	b := make([]*cell[V], len(target.ids))
+	level := target.level + 1
+	// Fast path: try one unannounced double collect first.
+	o.collect(target.ids, a)
+	o.yield(sched.PostFirstCollect, level)
+	o.collect(target.ids, b)
+	if sameCells(a, b) {
+		return cellVals(b), level, true
+	}
+	o.scanRetries.Add(1)
+	rec := &scanRecord[V]{ids: target.ids, mask: target.mask, level: level}
+	o.announce(rec)
+	defer o.retire(rec)
+	o.yield(sched.PostAnnounce, level)
+	for {
+		if target.done.Load() || target.help.Load() != nil {
+			return nil, 0, false
 		}
 		o.collect(rec.ids, a)
+		o.yield(sched.PostFirstCollect, level)
 		o.collect(rec.ids, b)
 		if sameCells(a, b) {
-			return cellVals(b), true
+			return cellVals(b), level, true
+		}
+		o.scanRetries.Add(1)
+		if h := rec.help.Load(); h != nil {
+			o.yield(sched.PreAdopt, level)
+			o.helpsAdopted.Add(1)
+			return append([]V(nil), h.vals...), h.depth, true
 		}
 	}
-	return nil, false
 }
 
 func (o *LockFree[V]) collect(ids []int, into []*cell[V]) {
 	for i, id := range ids {
 		into[i] = o.cells[id].Load()
+	}
+}
+
+func atomicMax(g *atomic.Int64, v int64) {
+	for {
+		old := g.Load()
+		if old >= v || g.CompareAndSwap(old, v) {
+			return
+		}
 	}
 }
 

@@ -16,11 +16,15 @@
 // Two implementations share the Object interface:
 //
 //   - LockFree: per-component sequence-stamped registers (atomic.Pointer
-//     cells) with the paper's helping mechanism. Scanners announce the
-//     component set they are reading; an updater that is about to overwrite
-//     one of those components first performs an embedded collect of the
-//     announced set and posts it as a help record, so an obstructed scanner
-//     can adopt a consistent view instead of retrying forever.
+//     cells) with the paper's full wait-free helping mechanism. Scanners
+//     announce the component set they are reading; an updater that is about
+//     to overwrite one of those components first completes an embedded scan
+//     of the announced set and posts it as a help record, so an obstructed
+//     scanner adopts a consistent view instead of retrying forever. The
+//     embedded scan is itself announced and helpable (help records chain),
+//     which is what makes helping — and therefore every partial scan —
+//     wait-free; see the termination argument on embeddedScan. The type
+//     name predates the wait-freedom restoration.
 //   - RWMutex: a coarse-grained reference implementation used as the
 //     correctness baseline and benchmark foil.
 //

@@ -148,7 +148,9 @@ func TestDisjointSetsDoNotInterfere(t *testing.T) {
 
 // TestContendedScansTerminate hammers a tiny component set from both sides
 // so scans are maximally obstructed, forcing the helping path to carry
-// them. It asserts termination plus spec conformance.
+// them. It asserts termination plus spec conformance — including the
+// provenance of every adopted view — and that the announcement stack holds
+// nothing once the storm ends.
 func TestContendedScansTerminate(t *testing.T) {
 	const components = 4
 	iters := 1500
@@ -169,12 +171,13 @@ func TestContendedScansTerminate(t *testing.T) {
 					vals[i] = uniqueVal(w, k*len(ids)+i)
 				}
 				start := rec.Now()
-				if err := obj.Update(ids, vals); err != nil {
+				op, err := obj.UpdateOp(ids, vals)
+				if err != nil {
 					t.Errorf("Update: %v", err)
 					return
 				}
 				rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
-					Comps: ids, Vals: append([]int64(nil), vals...)})
+					Comps: ids, Vals: append([]int64(nil), vals...), UpdateID: op})
 			}
 		}(w)
 	}
@@ -184,12 +187,13 @@ func TestContendedScansTerminate(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < iters; k++ {
 				start := rec.Now()
-				vals, err := obj.PartialScan(ids)
+				vals, info, err := obj.PartialScanInfo(ids)
 				if err != nil {
 					t.Errorf("PartialScan: %v", err)
 					return
 				}
-				rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(), Comps: ids, Vals: vals})
+				rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(),
+					Comps: ids, Vals: vals, AdoptedFrom: info.HelperOp})
 			}
 		}()
 	}
@@ -197,10 +201,18 @@ func TestContendedScansTerminate(t *testing.T) {
 	if t.Failed() {
 		return
 	}
-	if err := spec.Check(components, rec.Ops()); err != nil {
+	ops := rec.Ops()
+	if err := spec.Check(components, ops); err != nil {
 		t.Fatalf("contended history rejected by spec: %v", err)
 	}
-	t.Logf("contended stats: %+v", obj.Stats())
+	if err := spec.CheckProvenance(ops); err != nil {
+		t.Fatalf("contended history rejected by provenance check: %v", err)
+	}
+	st := obj.Stats()
+	if st.LiveAnnouncements != 0 {
+		t.Fatalf("storm left %d live announcements, want 0", st.LiveAnnouncements)
+	}
+	t.Logf("contended stats: %+v", st)
 }
 
 func randomIDSet(rng *rand.Rand, n, k int) []int {
