@@ -1,0 +1,149 @@
+// Command snapbench sweeps a benchmark matrix (implementations ×
+// goroutines × components × scan widths) over the partial snapshot object
+// and writes the results — including each cell's final contention Stats
+// for implementations that expose them — to a BENCH_*.json file.
+//
+// Examples:
+//
+//	snapbench -impls lockfree,rwmutex -goroutines 1,4,8 -components 64 \
+//	          -scan-widths 1,8,64 -duration 200ms
+//
+//	# The locality workload: goroutines pinned to disjoint component
+//	# ranges; emits BENCH_partitioned.json with per-cell Stats.
+//	snapbench -scenario partitioned -goroutines 1,2,4,8 -components 64 \
+//	          -scan-widths 4 -duration 200ms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"partialsnapshot/internal/bench"
+)
+
+type report struct {
+	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version"`
+	NumCPU      int            `json:"num_cpu"`
+	Results     []bench.Result `json:"results"`
+}
+
+func main() {
+	impls := flag.String("impls", "lockfree,rwmutex", "comma-separated implementations (lockfree, rwmutex)")
+	scenario := flag.String("scenario", bench.ScenarioMixed, "workload scenario (mixed, partitioned)")
+	goroutines := flag.String("goroutines", "1,4,8", "comma-separated goroutine counts")
+	components := flag.String("components", "64", "comma-separated component counts")
+	scanWidths := flag.String("scan-widths", "1,8,32", "comma-separated partial-scan widths")
+	updateWidth := flag.Int("update-width", 2, "components per update")
+	scanFrac := flag.Float64("scan-frac", 0.5, "fraction of operations that are scans")
+	duration := flag.Duration("duration", 200*time.Millisecond, "duration of each benchmark cell")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	out := flag.String("out", "", "output path (default BENCH_<unix>.json)")
+	flag.Parse()
+
+	implList := strings.Split(*impls, ",")
+	gList, err := parseInts(*goroutines)
+	if err != nil {
+		fail(err)
+	}
+	cList, err := parseInts(*components)
+	if err != nil {
+		fail(err)
+	}
+	wList, err := parseInts(*scanWidths)
+	if err != nil {
+		fail(err)
+	}
+	if err := run(*scenario, implList, gList, cList, wList, *updateWidth, *scanFrac, *duration, *seed, *out); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "snapbench:", err)
+	os.Exit(1)
+}
+
+func run(scenario string, impls []string, goroutines, components, scanWidths []int, updateWidth int, scanFrac float64, duration time.Duration, seed int64, out string) error {
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+	for _, n := range components {
+		for _, w := range scanWidths {
+			if w > n {
+				fmt.Fprintf(os.Stderr, "skipping scan width %d > %d components\n", w, n)
+				continue
+			}
+			if updateWidth > n {
+				fmt.Fprintf(os.Stderr, "clamping update width %d to %d components\n", updateWidth, n)
+			}
+			for _, g := range goroutines {
+				if scenario == bench.ScenarioPartitioned && n/g < max(w, min(updateWidth, n)) {
+					fmt.Fprintf(os.Stderr, "skipping partitioned cell n=%d g=%d: partitions of %d too narrow for widths\n", n, g, n/g)
+					continue
+				}
+				for _, impl := range impls {
+					cfg := bench.Config{
+						Impl:        strings.TrimSpace(impl),
+						Scenario:    scenario,
+						Goroutines:  g,
+						Components:  n,
+						ScanWidth:   w,
+						UpdateWidth: min(updateWidth, n),
+						ScanFrac:    scanFrac,
+						Duration:    duration,
+						Seed:        seed,
+					}
+					res, err := bench.Run(cfg)
+					if err != nil {
+						return err
+					}
+					contention := ""
+					if res.Stats != nil {
+						contention = fmt.Sprintf("  retries=%d visited=%d helps=%d",
+							res.Stats.ScanRetries, res.Stats.RecordsVisited, res.Stats.HelpsPosted)
+					}
+					fmt.Fprintf(os.Stderr, "%-9s %-11s n=%-4d width=%-3d g=%-3d %12.0f ops/sec%s\n",
+						cfg.Impl, scenario, n, w, g, res.OpsPerSec, contention)
+					rep.Results = append(rep.Results, res)
+				}
+			}
+		}
+	}
+	if out == "" {
+		if scenario == bench.ScenarioPartitioned {
+			out = "BENCH_partitioned.json"
+		} else {
+			out = fmt.Sprintf("BENCH_%d.json", time.Now().Unix())
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", out)
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -3,6 +3,15 @@
 // implementation and reports throughput, following the SPAA benchmarking
 // discipline of sweeping goroutines × components × scan width and
 // comparing implementations under identical workloads.
+//
+// Two workload scenarios are supported: "mixed" draws every operation's
+// component set uniformly from the whole object, and "partitioned" pins
+// each worker to its own disjoint, equal-size component range — the
+// paper's locality workload, under which the sharded announcement registry
+// must scale with workers while any globally shared structure flatlines.
+// Partitioned results carry the object's final Stats so the perf
+// trajectory captures contention (retries, registry visits), not just
+// throughput.
 package bench
 
 import (
@@ -15,10 +24,24 @@ import (
 	"partialsnapshot/internal/snapshot"
 )
 
+// Scenario names for Config.Scenario.
+const (
+	// ScenarioMixed is the default: every worker draws component sets from
+	// the whole object.
+	ScenarioMixed = "mixed"
+	// ScenarioPartitioned pins worker g of G to the component range
+	// [g*(n/G), (g+1)*(n/G)): workloads on disjoint ranges, the locality
+	// scenario.
+	ScenarioPartitioned = "partitioned"
+)
+
 // Config describes one benchmark cell.
 type Config struct {
 	// Impl selects the implementation: "lockfree" or "rwmutex".
 	Impl string `json:"impl"`
+	// Scenario selects the workload shape: ScenarioMixed (default, also
+	// selected by "") or ScenarioPartitioned.
+	Scenario string `json:"scenario,omitempty"`
 	// Goroutines is the number of worker goroutines.
 	Goroutines int `json:"goroutines"`
 	// Components is n, the size of the snapshot object.
@@ -42,6 +65,11 @@ type Result struct {
 	ScanOps    uint64  `json:"scan_ops"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Stats is the implementation's final progress counters, for
+	// implementations that expose them (the lock-free object; nil
+	// otherwise). In partitioned cells, ScanRetries and RecordsVisited
+	// quantify contention and cross-partition interference directly.
+	Stats *snapshot.Stats `json:"stats,omitempty"`
 }
 
 // NewObject constructs the implementation named by impl.
@@ -56,9 +84,7 @@ func NewObject(impl string, n int) (snapshot.Object[int64], error) {
 	}
 }
 
-// Run executes one benchmark cell. Each worker repeatedly picks a random
-// component set of the configured width and either updates it or partially
-// scans it, until the duration elapses.
+// Run executes one benchmark cell.
 func Run(cfg Config) (Result, error) {
 	if cfg.Goroutines <= 0 || cfg.Components <= 0 {
 		return Result{}, fmt.Errorf("bench: goroutines and components must be positive, got %d and %d", cfg.Goroutines, cfg.Components)
@@ -72,63 +98,89 @@ func Run(cfg Config) (Result, error) {
 	if cfg.ScanFrac < 0 || cfg.ScanFrac > 1 {
 		return Result{}, fmt.Errorf("bench: scan fraction %v out of range [0,1]", cfg.ScanFrac)
 	}
+	switch cfg.Scenario {
+	case "", ScenarioMixed:
+	case ScenarioPartitioned:
+		part := cfg.Components / cfg.Goroutines
+		if part < cfg.ScanWidth || part < cfg.UpdateWidth {
+			return Result{}, fmt.Errorf("bench: partitioned scenario needs components/goroutines >= widths, got partition size %d for widths %d/%d",
+				part, cfg.ScanWidth, cfg.UpdateWidth)
+		}
+	default:
+		return Result{}, fmt.Errorf("bench: unknown scenario %q (want %s or %s)", cfg.Scenario, ScenarioMixed, ScenarioPartitioned)
+	}
 	obj, err := NewObject(cfg.Impl, cfg.Components)
 	if err != nil {
 		return Result{}, err
 	}
+	return runWithObject(obj, cfg)
+}
 
+// runWithObject drives a validated config against obj. Each worker
+// repeatedly picks a component set of the configured width — from the
+// whole object or from its own partition, per the scenario — and either
+// updates it or partially scans it, until the duration elapses or a worker
+// fails. A worker's counts are flushed via defer so ops completed before a
+// failure still reach the Result, and the first error trips a shared stop
+// that cancels the clock and the other workers promptly.
+func runWithObject(obj snapshot.Object[int64], cfg Config) (Result, error) {
 	var stop atomic.Bool
 	var updates, scans atomic.Uint64
 	var wg sync.WaitGroup
 	var firstErr atomic.Pointer[error]
+	var stopOnce sync.Once
+	stopCh := make(chan struct{})
+	halt := func() { stopOnce.Do(func() { stop.Store(true); close(stopCh) }) }
 
 	start := time.Now()
 	for g := 0; g < cfg.Goroutines; g++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
-			perm := make([]int, cfg.Components)
-			for i := range perm {
-				perm[i] = i
-			}
-			vals := make([]int64, cfg.UpdateWidth)
 			var localUpdates, localScans uint64
+			defer func() {
+				updates.Add(localUpdates)
+				scans.Add(localScans)
+			}()
+			fail := func(err error) {
+				e := err
+				firstErr.CompareAndSwap(nil, &e)
+				halt()
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
+			pool := workerPool(cfg, worker)
+			vals := make([]int64, cfg.UpdateWidth)
 			var seq int64
 			for !stop.Load() {
 				if rng.Float64() < cfg.ScanFrac {
-					set := randomSet(rng, perm, cfg.ScanWidth)
+					set := randomSet(rng, pool, cfg.ScanWidth)
 					if _, err := obj.PartialScan(set); err != nil {
-						e := err
-						firstErr.CompareAndSwap(nil, &e)
+						fail(err)
 						return
 					}
 					localScans++
 				} else {
-					set := randomSet(rng, perm, cfg.UpdateWidth)
+					set := randomSet(rng, pool, cfg.UpdateWidth)
 					seq++
 					for i := range cfg.UpdateWidth {
 						vals[i] = int64(worker)<<32 | seq
 					}
 					if err := obj.Update(set, vals[:cfg.UpdateWidth]); err != nil {
-						e := err
-						firstErr.CompareAndSwap(nil, &e)
+						fail(err)
 						return
 					}
 					localUpdates++
 				}
 			}
-			updates.Add(localUpdates)
-			scans.Add(localScans)
 		}(g)
 	}
-	time.Sleep(cfg.Duration)
+	select {
+	case <-time.After(cfg.Duration):
+	case <-stopCh:
+	}
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
-	if ep := firstErr.Load(); ep != nil {
-		return Result{}, fmt.Errorf("bench: worker failed: %w", *ep)
-	}
 
 	res := Result{
 		Config:     cfg,
@@ -137,19 +189,42 @@ func Run(cfg Config) (Result, error) {
 		ElapsedSec: elapsed.Seconds(),
 	}
 	res.OpsPerSec = float64(res.UpdateOps+res.ScanOps) / res.ElapsedSec
+	if ep := firstErr.Load(); ep != nil {
+		return res, fmt.Errorf("bench: worker failed: %w", *ep)
+	}
+	if s, ok := obj.(interface{ Stats() snapshot.Stats }); ok {
+		st := s.Stats()
+		res.Stats = &st
+	}
 	return res, nil
 }
 
-// randomSet returns a uniform random k-subset of the components as the
-// first k slots of perm, via a partial Fisher–Yates over the caller's
-// persistent permutation buffer: O(k) per call and allocation-free, so the
-// timed loop charges no harness overhead to the implementation under test.
-// perm stays a permutation across calls.
-func randomSet(rng *rand.Rand, perm []int, k int) []int {
-	n := len(perm)
+// workerPool returns the component ids the worker draws its sets from: the
+// whole object in the mixed scenario, the worker's own disjoint range in
+// the partitioned one.
+func workerPool(cfg Config, worker int) []int {
+	lo, n := 0, cfg.Components
+	if cfg.Scenario == ScenarioPartitioned {
+		n = cfg.Components / cfg.Goroutines
+		lo = worker * n
+	}
+	pool := make([]int, n)
+	for i := range pool {
+		pool[i] = lo + i
+	}
+	return pool
+}
+
+// randomSet returns a uniform random k-subset of pool as its first k
+// slots, via a partial Fisher–Yates over the caller's persistent pool
+// buffer: O(k) per call and allocation-free, so the timed loop charges no
+// harness overhead to the implementation under test. pool stays a
+// permutation of itself across calls.
+func randomSet(rng *rand.Rand, pool []int, k int) []int {
+	n := len(pool)
 	for i := 0; i < k; i++ {
 		j := i + rng.Intn(n-i)
-		perm[i], perm[j] = perm[j], perm[i]
+		pool[i], pool[j] = pool[j], pool[i]
 	}
-	return perm[:k]
+	return pool[:k]
 }

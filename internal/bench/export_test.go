@@ -1,0 +1,6 @@
+package bench
+
+// RunWithObject exposes the workload driver to tests so they can inject a
+// failing Object implementation; Run's public path always constructs a
+// healthy one, which can never exercise the error handling.
+var RunWithObject = runWithObject

@@ -48,9 +48,22 @@ const (
 	// helping a level-(k-1) record).
 	PostFirstCollect Point = "post-first-collect"
 
-	// PostAnnounce fires immediately after a scan record is pushed onto the
-	// announcement stack. arg = the record's level.
+	// PostEnroll fires after a scan record is linked into the announcement
+	// registry slot of one of its components, while enrollment in the
+	// record's remaining slots is still pending. arg = the component id just
+	// enrolled. Scripts use it to expose a record through some of its slots
+	// but not others (the multi-slot enroll races).
+	PostEnroll Point = "post-enroll"
+
+	// PostAnnounce fires once a scan record is fully enrolled in the
+	// registry slots of every component it names. arg = the record's level.
 	PostAnnounce Point = "post-announce"
+
+	// PreSlotWalk fires before an updater walks the announcement registry
+	// slot of one of the components it is about to write. arg = the
+	// component id. A multi-component update yields here once per named
+	// component, which is what makes retire-during-walk races scriptable.
+	PreSlotWalk Point = "pre-slot-walk"
 
 	// PreHelpScan fires when an updater decides to help an announced record,
 	// before its embedded scan starts. arg = the embedded scan's level

@@ -1,0 +1,108 @@
+package snapshot
+
+import "partialsnapshot/internal/sched"
+
+// This file is the updater side of the paper's helping protocol: finding
+// announced scans that intersect an update's write set via the sharded
+// registry, and the recursive embedded scans that serve them.
+
+// helpView is a consistent view of a record's component set posted by a
+// helping updater, stamped with provenance: which update posted it and how
+// deep in the help chain the clean double collect that produced it ran.
+type helpView[V any] struct {
+	vals  []V
+	by    uint64 // op id of the Update that posted this view
+	depth int    // chain level of the clean double collect behind the view
+}
+
+// helpIntersectingScans walks the registry slot of every component the
+// update is about to write and, for each live record found, completes an
+// embedded scan of that record's set and posts the view. Records enrolled
+// in several of the walked slots are seen once per shared slot and deduped
+// against the walk's seen list. Disjoint scans live in slots this walk
+// never touches, so they cost the update nothing and are never observed —
+// unlike the earlier global announcement stack, which every update walked
+// end to end.
+func (o *LockFree[V]) helpIntersectingScans(ids []int, op uint64) {
+	var seen []*scanRecord[V] // allocated only if a live record is found
+	for _, id := range ids {
+		o.yield(sched.PreSlotWalk, id)
+		o.reg.walkSlot(id, func(rec *scanRecord[V]) {
+			for _, s := range seen {
+				if s == rec {
+					o.reg.deduped.Add(1)
+					return
+				}
+			}
+			seen = append(seen, rec)
+			if rec.help.Load() != nil {
+				return
+			}
+			o.yield(sched.PreHelpScan, rec.level+1)
+			if view, depth, ok := o.embeddedScan(rec, op); ok {
+				o.yield(sched.PreHelpPost, rec.level)
+				if rec.help.CompareAndSwap(nil, &helpView[V]{vals: view, by: op, depth: depth}) {
+					o.helpsPosted.Add(1)
+					atomicMax(&o.maxDepth, int64(depth))
+				}
+			}
+		})
+	}
+}
+
+// embeddedScan produces a consistent view of target's component set on
+// behalf of a helping updater. This is the paper's recursive helping: the
+// embedded scan announces a record of its own (at target.level+1, enrolled
+// in the same component slots as the target), so updaters that obstruct
+// the helper are in turn obliged to help it, and help records form a
+// chain.
+//
+// Termination argument (why unbounded looping here cannot run forever): a
+// double collect only fails when some update stored one of the record's
+// cells between the two collects. An update that writes component c walks
+// c's registry slot before storing to c, so if it began its walk of that
+// slot after rec was enrolled there, it finds rec and posts help. Only
+// updates already past their walk of some named slot when rec enrolled in
+// it can obstruct without helping — finitely many per component, finitely
+// many in total — so after they drain, every further obstruction implies
+// help arrives on rec and the loop exits via adoption. The same argument
+// applies to the helper of the helper; the chain is finite because each
+// level is occupied by a distinct concurrent update and the deepest level,
+// obstructed by nobody new, completes by a clean double collect.
+//
+// ok=false means the target no longer needs help (its scan completed or
+// somebody else posted first) — a need-based exit, not a bounded bail-out.
+func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, depth int, ok bool) {
+	a := make([]*cell[V], len(target.ids))
+	b := make([]*cell[V], len(target.ids))
+	level := target.level + 1
+	// Fast path: try one unannounced double collect first.
+	o.collect(target.ids, a)
+	o.yield(sched.PostFirstCollect, level)
+	o.collect(target.ids, b)
+	if sameCells(a, b) {
+		return cellVals(b), level, true
+	}
+	o.scanRetries.Add(1)
+	rec := &scanRecord[V]{ids: target.ids, level: level}
+	o.announce(rec)
+	defer o.retire(rec)
+	o.yield(sched.PostAnnounce, level)
+	for {
+		if target.done.Load() || target.help.Load() != nil {
+			return nil, 0, false
+		}
+		o.collect(rec.ids, a)
+		o.yield(sched.PostFirstCollect, level)
+		o.collect(rec.ids, b)
+		if sameCells(a, b) {
+			return cellVals(b), level, true
+		}
+		o.scanRetries.Add(1)
+		if h := rec.help.Load(); h != nil {
+			o.yield(sched.PreAdopt, level)
+			o.helpsAdopted.Add(1)
+			return append([]V(nil), h.vals...), h.depth, true
+		}
+	}
+}

@@ -71,13 +71,13 @@ func TestHelpAdoptionScripted(t *testing.T) {
 	if st.LiveAnnouncements != 0 {
 		t.Fatalf("LiveAnnouncements = %d after quiescence, want 0", st.LiveAnnouncements)
 	}
-	// The announcement must have been retired and the next stack walk must
-	// physically unlink it.
-	if err := o.Update([]int{0}, []int64{999}); err != nil {
+	// The record must have been retired and the next walk of each of its
+	// slots must physically unlink its enrollment there.
+	if err := o.Update([]int{0, 1}, []int64{999, 998}); err != nil {
 		t.Fatal(err)
 	}
-	if n := o.stackLen(); n != 0 {
-		t.Fatalf("announcement stack still holds %d records", n)
+	if n := o.registryLen(); n != 0 {
+		t.Fatalf("announcement registry still holds %d enrollments", n)
 	}
 }
 
@@ -86,7 +86,7 @@ func TestHelpAdoptionScripted(t *testing.T) {
 // disjoint one, and the posted view carries the helper's op id.
 func TestUpdaterHelpsOnlyIntersectingScans(t *testing.T) {
 	o := NewLockFree[int64](8)
-	rec := &scanRecord[int64]{ids: []int{0, 1}, mask: maskOf(8, []int{0, 1})}
+	rec := &scanRecord[int64]{ids: []int{0, 1}}
 	o.announce(rec)
 
 	if err := o.Update([]int{5, 6}, []int64{1, 2}); err != nil {
@@ -308,41 +308,54 @@ func TestConcurrentAdoptionUnderForcedObstruction(t *testing.T) {
 	t.Logf("forced-obstruction stats: %+v", st)
 }
 
-// TestAnnouncementStackHygiene checks that retired records are lazily
-// unlinked by later stack walks and that the LiveAnnouncements gauge tracks
-// announce/retire exactly, both in a scripted sequence and after a real
-// contention storm.
-func TestAnnouncementStackHygiene(t *testing.T) {
+// TestAnnouncementRegistryHygiene checks that retired records are lazily
+// unlinked from each slot by later walks of that slot, that disjoint
+// updates neither unlink nor observe anything, and that the
+// LiveAnnouncements gauge tracks announce/retire exactly — both in a
+// scripted sequence and after a real contention storm.
+func TestAnnouncementRegistryHygiene(t *testing.T) {
 	o := NewLockFree[int64](8)
 	recs := make([]*scanRecord[int64], 3)
 	for i := range recs {
-		recs[i] = &scanRecord[int64]{ids: []int{0, 1}, mask: maskOf(8, []int{0, 1})}
+		recs[i] = &scanRecord[int64]{ids: []int{0, 1}}
 		o.announce(recs[i])
 	}
-	if n, live := o.stackLen(), o.Stats().LiveAnnouncements; n != 3 || live != 3 {
-		t.Fatalf("after 3 announces: stackLen=%d live=%d, want 3/3", n, live)
+	// Each record is enrolled once per named component.
+	if n, live := o.registryLen(), o.Stats().LiveAnnouncements; n != 6 || live != 3 {
+		t.Fatalf("after 3 announces of {0,1}: registryLen=%d live=%d, want 6/3", n, live)
 	}
-	// Retire the middle record: the gauge drops immediately, the link stays
-	// until the next walk.
+	// Retire the middle record: the gauge drops immediately, both of its
+	// enrollments stay until each slot's next walk.
 	o.retire(recs[1])
 	if live := o.Stats().LiveAnnouncements; live != 2 {
 		t.Fatalf("live = %d after one retire, want 2", live)
 	}
-	// A disjoint update's walk unlinks the retired record without helping
-	// the live ones.
+	// A disjoint update consults only its own slot: it unlinks nothing and
+	// never even observes the records (the sharded-registry locality).
 	if err := o.Update([]int{7}, []int64{1}); err != nil {
 		t.Fatal(err)
 	}
-	if n := o.stackLen(); n != 2 {
-		t.Fatalf("stackLen = %d after walk, want 2 (retired record unlinked)", n)
+	if n, st := o.registryLen(), o.Stats(); n != 6 || st.RecordsVisited != 0 {
+		t.Fatalf("disjoint walk: registryLen=%d visited=%d, want 6 enrollments and 0 visits", n, st.RecordsVisited)
+	}
+	// An update on component 0 walks slot 0 only: it unlinks the retired
+	// enrollment there (slot 1's copy stays) and helps the two live records.
+	if err := o.Update([]int{0}, []int64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if l0, l1 := o.slotLen(0), o.slotLen(1); l0 != 2 || l1 != 3 {
+		t.Fatalf("after slot-0 walk: slotLen(0)=%d slotLen(1)=%d, want 2 and 3", l0, l1)
+	}
+	if st := o.Stats(); st.HelpsPosted != 2 {
+		t.Fatalf("slot-0 walk posted %d helps, want 2 (both live records)", st.HelpsPosted)
 	}
 	o.retire(recs[0])
 	o.retire(recs[2])
-	if err := o.Update([]int{7}, []int64{2}); err != nil {
+	if err := o.Update([]int{0, 1}, []int64{3, 4}); err != nil {
 		t.Fatal(err)
 	}
-	if n, live := o.stackLen(), o.Stats().LiveAnnouncements; n != 0 || live != 0 {
-		t.Fatalf("after all retired + walk: stackLen=%d live=%d, want 0/0", n, live)
+	if n, live := o.registryLen(), o.Stats().LiveAnnouncements; n != 0 || live != 0 {
+		t.Fatalf("after all retired + both slots walked: registryLen=%d live=%d, want 0/0", n, live)
 	}
 
 	// Contention storm (run with -race): scanners and updaters hammer a tiny
@@ -381,11 +394,11 @@ func TestAnnouncementStackHygiene(t *testing.T) {
 	if live := storm.Stats().LiveAnnouncements; live != 0 {
 		t.Fatalf("storm leaked %d live announcements", live)
 	}
-	if err := storm.Update([]int{0}, []int64{0}); err != nil {
+	if err := storm.Update([]int{0, 1}, []int64{0, 0}); err != nil {
 		t.Fatal(err)
 	}
-	if n := storm.stackLen(); n != 0 {
-		t.Fatalf("stack holds %d records after quiescent walk, want 0", n)
+	if n := storm.registryLen(); n != 0 {
+		t.Fatalf("registry holds %d enrollments after quiescent walks, want 0", n)
 	}
 	t.Logf("storm stats: %+v", storm.Stats())
 }

@@ -1,0 +1,361 @@
+package snapshot
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"partialsnapshot/internal/sched"
+	"partialsnapshot/internal/spec"
+)
+
+// These tests pin down what the sharded announcement registry buys and the
+// new races it introduces: cross-partition updates must never observe a
+// foreign announcement (measured, not assumed), multi-enrolled records are
+// helped once, and records can be retired or half-enrolled while an
+// updater reads them through another slot.
+
+// TestCrossPartitionUpdatesNeverVisitRegistry parks a scanner with a live
+// announcement on components {8,9} and then storms updates over the
+// disjoint range [0,8). With the old global announcement stack every one
+// of those updates walked past the record; with the sharded registry they
+// walk only their own slots and the visit counters prove they never saw
+// it. An intersecting update then finds the record via slot 9 on its first
+// walk.
+func TestCrossPartitionUpdatesNeverVisitRegistry(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewLockFree[int64](16).Instrument(ctl)
+
+	var vals []int64
+	var info ScanInfo
+	ctl.Spawn("scanner", func() {
+		var err error
+		vals, info, err = o.PartialScanInfo([]int{8, 9})
+		if err != nil {
+			t.Errorf("PartialScanInfo: %v", err)
+		}
+	})
+	// Obstruct the fast path so the scanner announces, then park it inside
+	// its announced double collect with the record live in slots 8 and 9.
+	if _, ok := ctl.StepUntil("scanner", sched.PostFirstCollect); !ok {
+		t.Fatal("scanner finished before its first collect gap")
+	}
+	if err := o.Update([]int{8}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctl.StepUntil("scanner", sched.PostAnnounce); !ok {
+		t.Fatal("scanner finished without announcing")
+	}
+	if _, ok := ctl.StepUntil("scanner", sched.PostFirstCollect); !ok {
+		t.Fatal("scanner finished before its announced collect gap")
+	}
+	if live := o.Stats().LiveAnnouncements; live != 1 {
+		t.Fatalf("LiveAnnouncements = %d with scanner parked, want 1", live)
+	}
+
+	// The cross-partition storm: single and batch updates over [0,8).
+	for k := 0; k < 64; k++ {
+		if err := o.Update([]int{k % 8}, []int64{int64(k)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Update([]int{k % 8, (k + 3) % 8}, []int64{int64(k), int64(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := o.Stats()
+	if st.RegistryWalks < 64*3 {
+		t.Fatalf("RegistryWalks = %d, want >= %d (every update consults its slots)", st.RegistryWalks, 64*3)
+	}
+	if st.RecordsVisited != 0 {
+		t.Fatalf("cross-partition updates visited %d records, want 0", st.RecordsVisited)
+	}
+	if st.HelpsPosted != 0 {
+		t.Fatalf("cross-partition updates posted %d helps, want 0", st.HelpsPosted)
+	}
+	for c := 0; c < 8; c++ {
+		if _, visited := o.SlotStats(c); visited != 0 {
+			t.Fatalf("slot %d reports %d visits during a cross-partition storm, want 0", c, visited)
+		}
+	}
+
+	// An update that actually intersects the announcement finds it on its
+	// first walk of slot 9 and posts help; the scanner adopts.
+	op, err := o.UpdateOp([]int{9}, []int64{90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := o.Stats(); st.RecordsVisited != 1 || st.HelpsPosted != 1 {
+		t.Fatalf("intersecting update: visited=%d helps=%d, want 1/1", st.RecordsVisited, st.HelpsPosted)
+	}
+	if _, visited := o.SlotStats(9); visited != 1 {
+		t.Fatalf("slot 9 visits = %d, want 1", visited)
+	}
+	if _, ok := ctl.StepUntil("scanner", sched.PreAdopt); !ok {
+		t.Fatal("scanner finished without adopting")
+	}
+	ctl.RunToCompletion("scanner")
+	if !info.Adopted || info.HelperOp != op {
+		t.Fatalf("info = %+v, want adoption from op %d", info, op)
+	}
+	if vals[0] != 1 || vals[1] != 0 {
+		t.Fatalf("adopted view = %v, want [1 0] (helper collected before its store)", vals)
+	}
+}
+
+// TestMultiEnrollmentDedup checks that an update whose write set overlaps a
+// record in several components sees the record once per shared slot but
+// helps it exactly once: the walk's seen list dedups slots two and three.
+func TestMultiEnrollmentDedup(t *testing.T) {
+	o := NewLockFree[int64](4)
+	rec := &scanRecord[int64]{ids: []int{0, 1, 2}}
+	o.announce(rec)
+
+	op, err := o.UpdateOp([]int{0, 1, 2}, []int64{10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.RecordsVisited != 3 || st.RecordsDeduped != 2 || st.HelpsPosted != 1 {
+		t.Fatalf("visited=%d deduped=%d helps=%d, want 3/2/1", st.RecordsVisited, st.RecordsDeduped, st.HelpsPosted)
+	}
+	h := rec.help.Load()
+	if h == nil || h.by != op {
+		t.Fatalf("help = %+v, want a single view posted by op %d", h, op)
+	}
+	o.retire(rec)
+	if live := o.Stats().LiveAnnouncements; live != 0 {
+		t.Fatalf("LiveAnnouncements = %d after retire, want 0", live)
+	}
+}
+
+// TestRecordRetiredInOneSlotReadViaAnother scripts the retire/walk race the
+// per-slot lazy unlinking introduces: a record is retired while an updater
+// is about to read it through a different slot than the one a previous
+// walk cleaned. The updater must skip the dead record (no help, no visit)
+// and unlink its enrollment from the slot it walked, leaving the other
+// slot's stale enrollment for that slot's own next walk.
+func TestRecordRetiredInOneSlotReadViaAnother(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewLockFree[int64](4).Instrument(ctl)
+	rec := &scanRecord[int64]{ids: []int{0, 1}}
+	o.announce(rec)
+
+	ctl.Spawn("updater", func() {
+		if err := o.Update([]int{1}, []int64{5}); err != nil {
+			t.Errorf("Update: %v", err)
+		}
+	})
+	// Parked immediately before walking slot 1, where rec is enrolled.
+	if arg, ok := ctl.StepUntil("updater", sched.PreSlotWalk); !ok || arg != 1 {
+		t.Fatalf("updater park = arg %d (ok=%v), want pre-slot-walk(1)", arg, ok)
+	}
+	o.retire(rec)
+	ctl.RunToCompletion("updater")
+
+	if h := rec.help.Load(); h != nil {
+		t.Fatalf("updater helped a retired record: %+v", h)
+	}
+	if st := o.Stats(); st.RecordsVisited != 0 || st.HelpsPosted != 0 {
+		t.Fatalf("retired record counted as a visit: %+v", st)
+	}
+	if l0, l1 := o.slotLen(0), o.slotLen(1); l0 != 1 || l1 != 0 {
+		t.Fatalf("slotLen(0)=%d slotLen(1)=%d, want 1 (stale) and 0 (unlinked by the walk)", l0, l1)
+	}
+	// Slot 0's stale enrollment goes away on that slot's next walk.
+	if err := o.Update([]int{0}, []int64{6}); err != nil {
+		t.Fatal(err)
+	}
+	if l0 := o.slotLen(0); l0 != 0 {
+		t.Fatalf("slotLen(0)=%d after its own walk, want 0", l0)
+	}
+}
+
+// TestEnrollRaceMidAnnouncement scripts the half-enrolled window: a scanner
+// parks after enrolling in slot 0 but before slot 1, and an update on
+// component 1 passes through without seeing (or owing help to) the record.
+// That update is one of the finitely many "already past their walk" writers
+// of the termination argument; the scanner still finishes — here by a clean
+// announced double collect — and the recorded history passes the spec.
+func TestEnrollRaceMidAnnouncement(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewLockFree[int64](4).Instrument(ctl)
+	rec := &spec.Recorder[int64]{}
+
+	var vals []int64
+	var info ScanInfo
+	sStart := rec.Now()
+	ctl.Spawn("scanner", func() {
+		var err error
+		vals, info, err = o.PartialScanInfo([]int{0, 1})
+		if err != nil {
+			t.Errorf("PartialScanInfo: %v", err)
+		}
+	})
+	if _, ok := ctl.StepUntil("scanner", sched.PostFirstCollect); !ok {
+		t.Fatal("scanner finished before its first collect gap")
+	}
+	uStart := rec.Now()
+	op1, err := o.UpdateOp([]int{0}, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Add(spec.Op[int64]{Kind: spec.Update, Start: uStart, End: rec.Now(),
+		Comps: []int{0}, Vals: []int64{1}, UpdateID: op1})
+	// The obstructed scanner starts announcing; park it half-enrolled.
+	if arg, ok := ctl.StepUntil("scanner", sched.PostEnroll); !ok || arg != 0 {
+		t.Fatalf("scanner park = arg %d (ok=%v), want post-enroll(0)", arg, ok)
+	}
+	if l0, l1 := o.slotLen(0), o.slotLen(1); l0 != 1 || l1 != 0 {
+		t.Fatalf("half-enrolled: slotLen(0)=%d slotLen(1)=%d, want 1 and 0", l0, l1)
+	}
+	// An update on component 1 walks slot 1, finds nothing, stores without
+	// helping — it predates the record's enrollment in the only slot it
+	// consults.
+	uStart = rec.Now()
+	op2, err := o.UpdateOp([]int{1}, []int64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Add(spec.Op[int64]{Kind: spec.Update, Start: uStart, End: rec.Now(),
+		Comps: []int{1}, Vals: []int64{7}, UpdateID: op2})
+	if st := o.Stats(); st.HelpsPosted != 0 || st.RecordsVisited != 0 {
+		t.Fatalf("mid-enrollment update interacted with the record: %+v", st)
+	}
+	// The scanner finishes enrolling; nothing moves anymore, so its
+	// announced double collect is clean and it returns its own view.
+	ctl.RunToCompletion("scanner")
+	rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: sStart, End: rec.Now(),
+		Comps: []int{0, 1}, Vals: vals, AdoptedFrom: info.HelperOp})
+	if info.Adopted {
+		t.Fatalf("scanner adopted (%+v) despite a clean announced collect", info)
+	}
+	if vals[0] != 1 || vals[1] != 7 {
+		t.Fatalf("scan = %v, want [1 7]", vals)
+	}
+	if err := spec.Check(4, rec.Ops()); err != nil {
+		t.Fatalf("history rejected by spec: %v", err)
+	}
+	if err := spec.CheckProvenance(rec.Ops()); err != nil {
+		t.Fatalf("history rejected by provenance check: %v", err)
+	}
+	if live := o.Stats().LiveAnnouncements; live != 0 {
+		t.Fatalf("LiveAnnouncements = %d after quiescence, want 0", live)
+	}
+}
+
+// partitionObstructor forces every level-0 double collect to fail by
+// updating component 8 inside the collect gap (executed by the scanning
+// goroutine itself), so partition B's scanners always announce and adopt
+// while partition A's updaters run free. See obstructingSched in
+// helping_test.go for why this hook shape is race-detector-visible
+// concurrency rather than a serialised script.
+type partitionObstructor struct {
+	o *LockFree[int64]
+	n atomic.Int64
+}
+
+func (s *partitionObstructor) Yield(p sched.Point, arg int) {
+	if p == sched.PostFirstCollect && arg == 0 {
+		if err := s.o.Update([]int{8}, []int64{s.n.Add(1)}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestPartitionedWorkloadZeroCrossPartitionVisits is the locality property
+// test under real concurrency (run with -race): partition A hammers
+// updates over components [0,8) while partition B's scanners on {8,9} are
+// forced to keep announcements continuously live in slots 8 and 9. The
+// per-slot gauges must show partition A walking its slots thousands of
+// times yet visiting zero records: every registry visit of the whole run
+// lands in partition B's slots.
+func TestPartitionedWorkloadZeroCrossPartitionVisits(t *testing.T) {
+	o := NewLockFree[int64](16)
+	o.Instrument(&partitionObstructor{o: o})
+
+	updatesPerWorker := 400
+	scansPerScanner := 50
+	if testing.Short() {
+		updatesPerWorker, scansPerScanner = 100, 20
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for k := 0; k < updatesPerWorker; k++ {
+				width := 1 + rng.Intn(3)
+				ids := make([]int, 0, width)
+				for len(ids) < width {
+					c := rng.Intn(8)
+					dup := false
+					for _, x := range ids {
+						dup = dup || x == c
+					}
+					if !dup {
+						ids = append(ids, c)
+					}
+				}
+				vals := make([]int64, width)
+				for i := range vals {
+					vals[i] = int64(w+1)<<32 | int64(k+1)
+				}
+				if err := o.Update(ids, vals); err != nil {
+					t.Errorf("Update%v: %v", ids, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < scansPerScanner; k++ {
+				_, info, err := o.PartialScanInfo([]int{8, 9})
+				if err != nil {
+					t.Errorf("PartialScanInfo: %v", err)
+					return
+				}
+				if !info.Adopted {
+					t.Errorf("scan completed without adoption despite forced obstruction: %+v", info)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	st := o.Stats()
+	var aWalks, aVisited, bVisited uint64
+	for c := 0; c < 8; c++ {
+		w, v := o.SlotStats(c)
+		aWalks += w
+		aVisited += v
+	}
+	for c := 8; c < 16; c++ {
+		_, v := o.SlotStats(c)
+		bVisited += v
+	}
+	if aWalks < uint64(4*updatesPerWorker) {
+		t.Fatalf("partition A walked its slots %d times, want >= %d", aWalks, 4*updatesPerWorker)
+	}
+	if aVisited != 0 {
+		t.Fatalf("partition A's slots report %d registry visits, want 0 (cross-partition interference)", aVisited)
+	}
+	if bVisited == 0 || st.RecordsVisited != bVisited {
+		t.Fatalf("visits: total=%d partitionB=%d, want all visits in partition B and nonzero", st.RecordsVisited, bVisited)
+	}
+	if st.HelpsAdopted < uint64(4*scansPerScanner) {
+		t.Fatalf("HelpsAdopted = %d, want >= %d", st.HelpsAdopted, 4*scansPerScanner)
+	}
+	if st.LiveAnnouncements != 0 {
+		t.Fatalf("partitioned storm leaked %d live announcements", st.LiveAnnouncements)
+	}
+	t.Logf("partitioned stats: %+v (partition A walks=%d)", st, aWalks)
+}

@@ -6,57 +6,27 @@ import (
 	"partialsnapshot/internal/sched"
 )
 
-// cell is one immutable register value for a single component. Every write
-// allocates a fresh cell, so pointer identity distinguishes writes: a
-// double collect that loads the same *cell twice knows the component did
-// not change in between (Go's GC rules out ABA while the collect still
-// holds the old pointer). The update op id rides along for observability
-// and for the spec recorder.
-type cell[V any] struct {
-	val V
-	op  uint64 // unique id of the Update that wrote this cell; 0 = initial
-}
-
-// scanRecord is one announcement: "somebody needs a consistent view of this
-// component set". Level 0 records are posted by PartialScan; level k >= 1
-// records are posted by the embedded scan of an updater helping a level-
-// (k-1) record, so records form the help chains of the paper's recursive
-// construction.
-type scanRecord[V any] struct {
-	ids   []int    // announced components, in the scanner's order
-	mask  []uint64 // bitset over [0,n) for O(n/64) intersection tests
-	level int      // help-chain depth of this record
-	help  atomic.Pointer[helpView[V]]
-	done  atomic.Bool
-	next  atomic.Pointer[scanRecord[V]]
-}
-
-// helpView is a consistent view of a record's component set posted by a
-// helping updater, stamped with provenance: which update posted it and how
-// deep in the help chain the clean double collect that produced it ran.
-type helpView[V any] struct {
-	vals  []V
-	by    uint64 // op id of the Update that posted this view
-	depth int    // chain level of the clean double collect behind the view
-}
-
 // LockFree is the paper's wait-free partial snapshot object. The name is
 // historical (the type began life with bounded, lock-free-only helping);
 // since helping became the unbounded recursive protocol of the paper, every
 // PartialScan completes in a bounded number of its own steps plus adopted
 // help — see embeddedScan for the termination argument. Zero value is not
 // usable; call NewLockFree.
+//
+// The implementation is split by layer: registers.go holds the
+// per-component cells and op-id shards, registry.go the sharded
+// announcement registry, scan.go the scanner side, helping.go the updater
+// side.
 type LockFree[V any] struct {
 	cells []atomic.Pointer[cell[V]]
-	ops   atomic.Uint64                 // unique update op ids
-	scans atomic.Pointer[scanRecord[V]] // Treiber-style stack of announcements
-	all   []int                         // cached [0..n) for Scan
-	sched sched.Scheduler               // nil outside schedule-injection tests
+	reg   registry[V]            // per-component announcement registry
+	ops   [opShards]paddedUint64 // sharded update op-id counters
+	all   []int                  // cached [0..n) for Scan
+	sched sched.Scheduler        // nil outside schedule-injection tests
 
 	scanRetries  atomic.Uint64
 	helpsPosted  atomic.Uint64
 	helpsAdopted atomic.Uint64
-	liveAnnounce atomic.Int64
 	maxDepth     atomic.Int64
 }
 
@@ -68,6 +38,7 @@ func NewLockFree[V any](n int) *LockFree[V] {
 	}
 	o := &LockFree[V]{
 		cells: make([]atomic.Pointer[cell[V]], n),
+		reg:   newRegistry[V](n),
 		all:   allIDs(n),
 	}
 	initial := &cell[V]{}
@@ -95,9 +66,10 @@ func (o *LockFree[V]) Components() int { return len(o.cells) }
 
 // Update writes vals[i] into component ids[i], as a sequence of per-
 // component atomic stores (see the package comment for batch semantics).
-// Before touching any cell it helps every announced scan whose component
-// set intersects ids to completion — helping is unbounded, which is what
-// guarantees an obstructed scanner always finds adoptable help.
+// Before touching any cell it consults the registry slots of exactly the
+// components it is about to write and helps every announced scan found
+// there to completion — helping is unbounded, which is what guarantees an
+// obstructed scanner always finds adoptable help.
 func (o *LockFree[V]) Update(ids []int, vals []V) error {
 	_, err := o.UpdateOp(ids, vals)
 	return err
@@ -110,8 +82,8 @@ func (o *LockFree[V]) UpdateOp(ids []int, vals []V) (uint64, error) {
 	if err := validateArgs(len(o.cells), ids, vals); err != nil {
 		return 0, err
 	}
-	op := o.ops.Add(1)
-	o.helpOverlappingScans(ids, op)
+	op := o.nextOp(ids)
+	o.helpIntersectingScans(ids, op)
 	for i, id := range ids {
 		o.yield(sched.PreCellStore, id)
 		o.cells[id].Store(&cell[V]{val: vals[i], op: op})
@@ -119,283 +91,69 @@ func (o *LockFree[V]) UpdateOp(ids []int, vals []V) (uint64, error) {
 	return op, nil
 }
 
-// ScanInfo describes how a partial scan completed.
-type ScanInfo struct {
-	// Adopted is true when the scan returned a view posted by a helping
-	// updater rather than one of its own double collects.
-	Adopted bool
-	// HelperOp is the op id of the Update that posted the adopted view
-	// (0 when Adopted is false).
-	HelperOp uint64
-	// Depth is the help-chain level of the clean double collect that
-	// produced the returned view: 0 for the scan's own collect, k >= 1 when
-	// the view came from a level-k embedded scan.
-	Depth int
-	// Retries counts this scan's failed double collects.
-	Retries int
-}
-
-// PartialScan returns an atomic view of the named components: either a
-// clean double collect (the exact memory state at an instant between the
-// two collects) or a view posted by a helping updater (itself rooted in a
-// clean double collect taken inside this scan's interval).
-func (o *LockFree[V]) PartialScan(ids []int) ([]V, error) {
-	vals, _, err := o.PartialScanInfo(ids)
-	return vals, err
-}
-
-// PartialScanInfo is PartialScan, additionally reporting how the scan
-// completed.
-func (o *LockFree[V]) PartialScanInfo(ids []int) ([]V, ScanInfo, error) {
-	var info ScanInfo
-	if err := validateIDs(len(o.cells), ids); err != nil {
-		return nil, info, err
-	}
-	a := make([]*cell[V], len(ids))
-	b := make([]*cell[V], len(ids))
-	// Fast path: an uncontended scan needs no announcement.
-	o.collect(ids, a)
-	o.yield(sched.PostFirstCollect, 0)
-	o.collect(ids, b)
-	if sameCells(a, b) {
-		return cellVals(b), info, nil
-	}
-	o.scanRetries.Add(1)
-	info.Retries++
-	rec := &scanRecord[V]{
-		ids:  append([]int(nil), ids...),
-		mask: maskOf(len(o.cells), ids),
-	}
-	o.announce(rec)
-	defer o.retire(rec)
-	o.yield(sched.PostAnnounce, 0)
-	for {
-		o.collect(rec.ids, a)
-		o.yield(sched.PostFirstCollect, 0)
-		o.collect(rec.ids, b)
-		if sameCells(a, b) {
-			return cellVals(b), info, nil
-		}
-		o.scanRetries.Add(1)
-		info.Retries++
-		// The collect was obstructed. Any update that wrote one of our
-		// components after seeing the announcement posted help first, so
-		// after finitely many failures an adoptable view is waiting here
-		// (see embeddedScan for why the help itself always completes).
-		if h := rec.help.Load(); h != nil {
-			o.yield(sched.PreAdopt, 0)
-			o.helpsAdopted.Add(1)
-			info.Adopted, info.HelperOp, info.Depth = true, h.by, h.depth
-			return append([]V(nil), h.vals...), info, nil
-		}
-	}
-}
-
-// Scan is PartialScan over every component.
-func (o *LockFree[V]) Scan() ([]V, error) { return o.PartialScan(o.all) }
-
-// Stats exposes internal progress counters, used by tests to demonstrate
-// the paper's locality property (disjoint operations never retry or help)
-// and the hygiene of the announcement stack.
+// Stats exposes internal progress counters, used by tests and benchmarks
+// to demonstrate the paper's locality property (disjoint operations never
+// retry, help, or even observe each other's announcements) and the hygiene
+// of the announcement registry.
 type Stats struct {
 	// ScanRetries counts failed double collects across all scans, embedded
 	// ones included.
-	ScanRetries uint64
+	ScanRetries uint64 `json:"scan_retries"`
 	// HelpsPosted counts views posted by helping updaters.
-	HelpsPosted uint64
+	HelpsPosted uint64 `json:"helps_posted"`
 	// HelpsAdopted counts scans (and embedded scans) that returned a helped
 	// view.
-	HelpsAdopted uint64
-	// LiveAnnouncements is a gauge of records currently announced and not
+	HelpsAdopted uint64 `json:"helps_adopted"`
+	// LiveAnnouncements is a gauge of records currently enrolled and not
 	// yet retired. It returns to zero whenever no operation is in flight;
 	// anything else is a leaked record.
-	LiveAnnouncements int64
+	LiveAnnouncements int64 `json:"live_announcements"`
 	// MaxHelpDepth is the deepest help-chain level at which a view was
 	// posted over the object's lifetime (0 = helping never recursed).
-	MaxHelpDepth int64
+	MaxHelpDepth int64 `json:"max_help_depth"`
+	// RegistryWalks counts updater walks of registry slots, one per
+	// (update, named component) pair.
+	RegistryWalks uint64 `json:"registry_walks"`
+	// RecordsVisited counts live records those walks encountered, one per
+	// (walk, enrollment) encounter. Under a workload partitioned over
+	// disjoint component ranges, each partition's visits land on its own
+	// slots and cross-partition visits are zero — see SlotStats.
+	RecordsVisited uint64 `json:"records_visited"`
+	// RecordsDeduped counts encounters skipped because the same record had
+	// already been seen via an earlier slot of the same walk
+	// (multi-enrollment dedup).
+	RecordsDeduped uint64 `json:"records_deduped"`
 }
 
 func (o *LockFree[V]) Stats() Stats {
-	return Stats{
+	st := Stats{
 		ScanRetries:       o.scanRetries.Load(),
 		HelpsPosted:       o.helpsPosted.Load(),
 		HelpsAdopted:      o.helpsAdopted.Load(),
-		LiveAnnouncements: o.liveAnnounce.Load(),
+		LiveAnnouncements: o.reg.live.Load(),
 		MaxHelpDepth:      o.maxDepth.Load(),
+		RecordsDeduped:    o.reg.deduped.Load(),
 	}
+	for c := range o.reg.slots {
+		st.RegistryWalks += o.reg.slots[c].walks.Load()
+		st.RecordsVisited += o.reg.slots[c].visited.Load()
+	}
+	return st
 }
 
-// announce pushes rec onto the announcement stack, opportunistically
-// unlinking completed records at the head.
-func (o *LockFree[V]) announce(rec *scanRecord[V]) {
-	o.liveAnnounce.Add(1)
-	for {
-		head := o.scans.Load()
-		if head != nil && head.done.Load() {
-			o.scans.CompareAndSwap(head, head.next.Load())
-			continue
-		}
-		rec.next.Store(head)
-		if o.scans.CompareAndSwap(head, rec) {
-			return
-		}
-	}
+// SlotStats reports the registry activity of component c's slot: how many
+// updater walks consulted it and how many live records those walks
+// encountered. Locality tests sum these per component range to prove that
+// a partitioned workload performs zero cross-partition registry visits.
+func (o *LockFree[V]) SlotStats(c int) (walks, visited uint64) {
+	return o.reg.slots[c].walks.Load(), o.reg.slots[c].visited.Load()
 }
 
-// retire marks rec completed; the record stays linked until the next stack
-// walk unlinks it lazily.
-func (o *LockFree[V]) retire(rec *scanRecord[V]) {
-	rec.done.Store(true)
-	o.liveAnnounce.Add(-1)
-}
+// registryLen counts enrollments currently linked across all slots,
+// retired-but-not-yet-unlinked ones included; a record enrolled in k slots
+// counts k times (test helper).
+func (o *LockFree[V]) registryLen() int { return o.reg.lenAll() }
 
-// stackLen counts records currently linked in the announcement stack,
-// retired-but-not-yet-unlinked ones included (test helper).
-func (o *LockFree[V]) stackLen() int {
-	n := 0
-	for cur := o.scans.Load(); cur != nil; cur = cur.next.Load() {
-		n++
-	}
-	return n
-}
-
-// helpOverlappingScans walks the announcement stack and, for every live
-// record whose set intersects ids, completes an embedded scan of that
-// record's set and posts the view. Completed records encountered on the way
-// are unlinked. The stack is newest-first, so the deepest records of any
-// help chain are served before the records that wait on them.
-func (o *LockFree[V]) helpOverlappingScans(ids []int, op uint64) {
-	cur := o.scans.Load()
-	if cur == nil {
-		return // common case: no scanner announced, zero overhead
-	}
-	mask := maskOf(len(o.cells), ids)
-	var prev *scanRecord[V]
-	for cur != nil {
-		next := cur.next.Load()
-		if cur.done.Load() {
-			if prev != nil {
-				prev.next.CompareAndSwap(cur, next)
-			} else {
-				o.scans.CompareAndSwap(cur, next)
-			}
-			cur = next
-			continue
-		}
-		if intersects(mask, cur.mask) && cur.help.Load() == nil {
-			o.yield(sched.PreHelpScan, cur.level+1)
-			if view, depth, ok := o.embeddedScan(cur, op); ok {
-				o.yield(sched.PreHelpPost, cur.level)
-				if cur.help.CompareAndSwap(nil, &helpView[V]{vals: view, by: op, depth: depth}) {
-					o.helpsPosted.Add(1)
-					atomicMax(&o.maxDepth, int64(depth))
-				}
-			}
-		}
-		prev = cur
-		cur = next
-	}
-}
-
-// embeddedScan produces a consistent view of target's component set on
-// behalf of a helping updater. This is the paper's recursive helping: the
-// embedded scan announces a record of its own (at target.level+1), so
-// updaters that obstruct the helper are in turn obliged to help it, and
-// help records form a chain.
-//
-// Termination argument (why unbounded looping here cannot run forever): a
-// double collect only fails when some update stored a cell between the two
-// collects. An update that began after rec was announced walks the stack
-// before storing, finds rec, and posts help to it — so after at most the
-// finitely many updates already past their stack walk when rec was pushed,
-// every further obstruction implies help arrives on rec and the loop exits
-// via adoption. The same argument applies to the helper of the helper; the
-// chain is finite because each level is occupied by a distinct concurrent
-// update and the deepest level, obstructed by nobody new, completes by a
-// clean double collect.
-//
-// ok=false means the target no longer needs help (its scan completed or
-// somebody else posted first) — a need-based exit, not a bounded bail-out.
-func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, depth int, ok bool) {
-	a := make([]*cell[V], len(target.ids))
-	b := make([]*cell[V], len(target.ids))
-	level := target.level + 1
-	// Fast path: try one unannounced double collect first.
-	o.collect(target.ids, a)
-	o.yield(sched.PostFirstCollect, level)
-	o.collect(target.ids, b)
-	if sameCells(a, b) {
-		return cellVals(b), level, true
-	}
-	o.scanRetries.Add(1)
-	rec := &scanRecord[V]{ids: target.ids, mask: target.mask, level: level}
-	o.announce(rec)
-	defer o.retire(rec)
-	o.yield(sched.PostAnnounce, level)
-	for {
-		if target.done.Load() || target.help.Load() != nil {
-			return nil, 0, false
-		}
-		o.collect(rec.ids, a)
-		o.yield(sched.PostFirstCollect, level)
-		o.collect(rec.ids, b)
-		if sameCells(a, b) {
-			return cellVals(b), level, true
-		}
-		o.scanRetries.Add(1)
-		if h := rec.help.Load(); h != nil {
-			o.yield(sched.PreAdopt, level)
-			o.helpsAdopted.Add(1)
-			return append([]V(nil), h.vals...), h.depth, true
-		}
-	}
-}
-
-func (o *LockFree[V]) collect(ids []int, into []*cell[V]) {
-	for i, id := range ids {
-		into[i] = o.cells[id].Load()
-	}
-}
-
-func atomicMax(g *atomic.Int64, v int64) {
-	for {
-		old := g.Load()
-		if old >= v || g.CompareAndSwap(old, v) {
-			return
-		}
-	}
-}
-
-func sameCells[V any](a, b []*cell[V]) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func cellVals[V any](cells []*cell[V]) []V {
-	vals := make([]V, len(cells))
-	for i, c := range cells {
-		vals[i] = c.val
-	}
-	return vals
-}
-
-func maskOf(n int, ids []int) []uint64 {
-	m := make([]uint64, (n+63)/64)
-	for _, id := range ids {
-		m[id/64] |= 1 << (id % 64)
-	}
-	return m
-}
-
-func intersects(a, b []uint64) bool {
-	for i := range a {
-		if a[i]&b[i] != 0 {
-			return true
-		}
-	}
-	return false
-}
+// slotLen counts enrollments currently linked in component c's slot (test
+// helper).
+func (o *LockFree[V]) slotLen(c int) int { return o.reg.slotLen(c) }

@@ -1,0 +1,79 @@
+package snapshot
+
+import "sync/atomic"
+
+// This file is the register layer of LockFree: the per-component atomic
+// cells every collect reads, and the sharded generator of update op ids.
+// Nothing here knows about announcements or helping.
+
+// cell is one immutable register value for a single component. Every write
+// allocates a fresh cell, so pointer identity distinguishes writes: a
+// double collect that loads the same *cell twice knows the component did
+// not change in between (Go's GC rules out ABA while the collect still
+// holds the old pointer). The update op id rides along for observability
+// and for the spec recorder.
+type cell[V any] struct {
+	val V
+	op  uint64 // unique id of the Update that wrote this cell; 0 = initial
+}
+
+// opShards is the number of op-id counter shards. It must stay a power of
+// two matching the shift in nextOp.
+const opShards = 64
+
+// paddedUint64 is an atomic counter alone on its cache line (and on the
+// line the adjacent-line prefetcher pairs with it), so counters of
+// different shards never false-share.
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [120]byte
+}
+
+// nextOp returns a unique, nonzero op id for an update naming ids. A single
+// global counter would put one contended cache line on every update's hot
+// path — cross-partition interference the sharded registry exists to
+// remove — so ids are drawn from a counter shard chosen by scaling the
+// update's first component into [0, opShards): contiguous component ranges
+// map to contiguous shard ranges, so updates pinned to disjoint ranges hit
+// disjoint shards whenever the ranges are at least n/opShards wide (a
+// modulo would instead alias ranges n/opShards apart onto the same
+// shards). The shard index rides in the low bits, keeping ids unique
+// across shards, and every id is >= opShards, so 0 still means "initial
+// value".
+func (o *LockFree[V]) nextOp(ids []int) uint64 {
+	shard := uint64(ids[0]) * opShards / uint64(len(o.cells))
+	return o.ops[shard].v.Add(1)<<6 | shard
+}
+
+// collect loads the current cell of every component in ids, in order.
+func (o *LockFree[V]) collect(ids []int, into []*cell[V]) {
+	for i, id := range ids {
+		into[i] = o.cells[id].Load()
+	}
+}
+
+func sameCells[V any](a, b []*cell[V]) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cellVals[V any](cells []*cell[V]) []V {
+	vals := make([]V, len(cells))
+	for i, c := range cells {
+		vals[i] = c.val
+	}
+	return vals
+}
+
+func atomicMax(g *atomic.Int64, v int64) {
+	for {
+		old := g.Load()
+		if old >= v || g.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}

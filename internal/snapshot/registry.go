@@ -1,0 +1,146 @@
+package snapshot
+
+import "sync/atomic"
+
+// This file is the announcement registry of LockFree: where scanners
+// enroll the component sets they need helped and where updaters look for
+// scans they are about to obstruct.
+//
+// The registry is sharded per component. Slot c holds a Treiber-style
+// stack of enrollments, one for every live scan record that names
+// component c; a record naming k components is enrolled in k slots
+// (multi-enrollment). An updater consults only the slots of the components
+// it is about to write, so operations on disjoint component sets touch
+// disjoint cache lines and never observe each other's records — the
+// paper's locality property held at the implementation level, not just the
+// semantic one. An earlier revision kept a single global announcement
+// stack, which made every updater load one shared head pointer and walk
+// every live record regardless of overlap.
+//
+// Every record found in a walked slot intersects the updater's write set
+// by construction, so the registry needs no intersection test; the price
+// is that an update whose write set overlaps a record in several
+// components sees that record once per shared slot, and the walk dedups
+// (helpIntersectingScans keeps the per-walk seen list).
+//
+// Retirement is logical (rec.done) and unlinking is lazy and per-slot: the
+// next walker or enroller of a slot unlinks retired enrollments it passes.
+// A record can therefore be gone from one slot while still linked in
+// another; walkers skip done records, so a reader that reaches a record
+// through a stale slot never helps it. Unlink CASes can lose to each other
+// or briefly resurrect an already-unlinked retired enrollment; both are
+// harmless because only retired enrollments are ever unlinked and retired
+// records are never visited.
+
+// enrollment links one scan record into one registry slot. A record
+// enrolled in k slots owns k enrollment nodes, each with its own next
+// pointer.
+type enrollment[V any] struct {
+	rec  *scanRecord[V]
+	next atomic.Pointer[enrollment[V]]
+}
+
+// slot is one component's announcement stack plus its locality gauges,
+// padded so that slots of different components — head pointer and counters
+// alike — never share a cache line (128 bytes covers the adjacent-line
+// prefetcher pairing).
+type slot[V any] struct {
+	head    atomic.Pointer[enrollment[V]]
+	walks   atomic.Uint64 // updater walks of this slot
+	visited atomic.Uint64 // live records those walks encountered
+	_       [104]byte
+}
+
+// registry is the sharded announcement registry: one slot per component.
+type registry[V any] struct {
+	slots   []slot[V]
+	live    atomic.Int64  // records enrolled and not yet retired
+	deduped atomic.Uint64 // walk encounters skipped as already seen
+}
+
+func newRegistry[V any](n int) registry[V] {
+	return registry[V]{slots: make([]slot[V], n)}
+}
+
+// enroll links rec into the slot of every component it names, in the
+// record's id order, opportunistically unlinking retired enrollments at
+// each slot head. yield, when non-nil, is called after each per-slot
+// enrollment (the sched.PostEnroll hook).
+func (r *registry[V]) enroll(rec *scanRecord[V], yield func(c int)) {
+	r.live.Add(1)
+	for _, c := range rec.ids {
+		e := &enrollment[V]{rec: rec}
+		s := &r.slots[c]
+		for {
+			head := s.head.Load()
+			if head != nil && head.rec.done.Load() {
+				s.head.CompareAndSwap(head, head.next.Load())
+				continue
+			}
+			e.next.Store(head)
+			if s.head.CompareAndSwap(head, e) {
+				break
+			}
+		}
+		if yield != nil {
+			yield(c)
+		}
+	}
+}
+
+// retire marks rec completed. Its enrollments stay linked until the next
+// walk or enroll of each slot unlinks them lazily.
+func (r *registry[V]) retire(rec *scanRecord[V]) {
+	rec.done.Store(true)
+	r.live.Add(-1)
+}
+
+// walkSlot visits every live record enrolled in component c's slot, newest
+// enrollment first, unlinking retired enrollments encountered on the way.
+// The newest-first order serves the deepest records of any help chain
+// before the records that wait on them.
+func (r *registry[V]) walkSlot(c int, visit func(*scanRecord[V])) {
+	s := &r.slots[c]
+	s.walks.Add(1)
+	cur := s.head.Load()
+	if cur == nil {
+		return // common case: no scanner names this component, zero overhead
+	}
+	var prev *enrollment[V]
+	for cur != nil {
+		next := cur.next.Load()
+		if cur.rec.done.Load() {
+			if prev != nil {
+				prev.next.CompareAndSwap(cur, next)
+			} else {
+				s.head.CompareAndSwap(cur, next)
+			}
+			cur = next
+			continue
+		}
+		s.visited.Add(1)
+		visit(cur.rec)
+		prev = cur
+		cur = next
+	}
+}
+
+// slotLen counts enrollments currently linked in component c's slot,
+// retired-but-not-yet-unlinked ones included (test helper).
+func (r *registry[V]) slotLen(c int) int {
+	n := 0
+	for cur := r.slots[c].head.Load(); cur != nil; cur = cur.next.Load() {
+		n++
+	}
+	return n
+}
+
+// lenAll counts enrollments linked across all slots; a record enrolled in
+// k slots counts k times (test helper).
+func (r *registry[V]) lenAll() int {
+	n := 0
+	for c := range r.slots {
+		n += r.slotLen(c)
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package snapshot
+
+import (
+	"sync/atomic"
+
+	"partialsnapshot/internal/sched"
+)
+
+// This file is the scanner side of LockFree: scan records, announcement
+// and retirement, and the PartialScan double-collect/adopt loop. The
+// updater side that serves announced records lives in helping.go.
+
+// scanRecord is one announcement: "somebody needs a consistent view of this
+// component set". Level 0 records are posted by PartialScan; level k >= 1
+// records are posted by the embedded scan of an updater helping a level-
+// (k-1) record, so records form the help chains of the paper's recursive
+// construction. A record is enrolled in the registry slot of every
+// component in ids and carries no links of its own (see enrollment).
+type scanRecord[V any] struct {
+	ids   []int // announced components, in the scanner's order
+	level int   // help-chain depth of this record
+	help  atomic.Pointer[helpView[V]]
+	done  atomic.Bool
+}
+
+// announce enrolls rec in the registry slot of each component it names.
+func (o *LockFree[V]) announce(rec *scanRecord[V]) {
+	var yield func(c int)
+	if o.sched != nil {
+		yield = func(c int) { o.sched.Yield(sched.PostEnroll, c) }
+	}
+	o.reg.enroll(rec, yield)
+}
+
+// retire marks rec completed; its per-slot enrollments are unlinked lazily
+// by later walks and enrolls of each slot.
+func (o *LockFree[V]) retire(rec *scanRecord[V]) {
+	o.reg.retire(rec)
+}
+
+// ScanInfo describes how a partial scan completed.
+type ScanInfo struct {
+	// Adopted is true when the scan returned a view posted by a helping
+	// updater rather than one of its own double collects.
+	Adopted bool
+	// HelperOp is the op id of the Update that posted the adopted view
+	// (0 when Adopted is false).
+	HelperOp uint64
+	// Depth is the help-chain level of the clean double collect that
+	// produced the returned view: 0 for the scan's own collect, k >= 1 when
+	// the view came from a level-k embedded scan.
+	Depth int
+	// Retries counts this scan's failed double collects.
+	Retries int
+}
+
+// PartialScan returns an atomic view of the named components: either a
+// clean double collect (the exact memory state at an instant between the
+// two collects) or a view posted by a helping updater (itself rooted in a
+// clean double collect taken inside this scan's interval).
+func (o *LockFree[V]) PartialScan(ids []int) ([]V, error) {
+	vals, _, err := o.PartialScanInfo(ids)
+	return vals, err
+}
+
+// PartialScanInfo is PartialScan, additionally reporting how the scan
+// completed.
+func (o *LockFree[V]) PartialScanInfo(ids []int) ([]V, ScanInfo, error) {
+	var info ScanInfo
+	if err := validateIDs(len(o.cells), ids); err != nil {
+		return nil, info, err
+	}
+	a := make([]*cell[V], len(ids))
+	b := make([]*cell[V], len(ids))
+	// Fast path: an uncontended scan needs no announcement.
+	o.collect(ids, a)
+	o.yield(sched.PostFirstCollect, 0)
+	o.collect(ids, b)
+	if sameCells(a, b) {
+		return cellVals(b), info, nil
+	}
+	o.scanRetries.Add(1)
+	info.Retries++
+	rec := &scanRecord[V]{ids: append([]int(nil), ids...)}
+	o.announce(rec)
+	defer o.retire(rec)
+	o.yield(sched.PostAnnounce, 0)
+	for {
+		o.collect(rec.ids, a)
+		o.yield(sched.PostFirstCollect, 0)
+		o.collect(rec.ids, b)
+		if sameCells(a, b) {
+			return cellVals(b), info, nil
+		}
+		o.scanRetries.Add(1)
+		info.Retries++
+		// The collect was obstructed. Any update that wrote one of our
+		// components after our enrollment in that component's slot posted
+		// help first, so after finitely many failures an adoptable view is
+		// waiting here (see embeddedScan for why the help itself always
+		// completes).
+		if h := rec.help.Load(); h != nil {
+			o.yield(sched.PreAdopt, 0)
+			o.helpsAdopted.Add(1)
+			info.Adopted, info.HelperOp, info.Depth = true, h.by, h.depth
+			return append([]V(nil), h.vals...), info, nil
+		}
+	}
+}
+
+// Scan is PartialScan over every component.
+func (o *LockFree[V]) Scan() ([]V, error) { return o.PartialScan(o.all) }

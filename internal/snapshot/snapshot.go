@@ -17,14 +17,18 @@
 //
 //   - LockFree: per-component sequence-stamped registers (atomic.Pointer
 //     cells) with the paper's full wait-free helping mechanism. Scanners
-//     announce the component set they are reading; an updater that is about
-//     to overwrite one of those components first completes an embedded scan
-//     of the announced set and posts it as a help record, so an obstructed
-//     scanner adopts a consistent view instead of retrying forever. The
-//     embedded scan is itself announced and helpable (help records chain),
-//     which is what makes helping — and therefore every partial scan —
-//     wait-free; see the termination argument on embeddedScan. The type
-//     name predates the wait-freedom restoration.
+//     announce the component set they are reading by enrolling a record in
+//     a per-component sharded registry (one padded slot per component; see
+//     registry.go), so an updater consults only the slots of the
+//     components it is about to write and disjoint operations never touch
+//     shared state. An updater that is about to overwrite an announced
+//     component first completes an embedded scan of the announced set and
+//     posts it as a help record, so an obstructed scanner adopts a
+//     consistent view instead of retrying forever. The embedded scan is
+//     itself announced and helpable (help records chain), which is what
+//     makes helping — and therefore every partial scan — wait-free; see
+//     the termination argument on embeddedScan. The type name predates the
+//     wait-freedom restoration.
 //   - RWMutex: a coarse-grained reference implementation used as the
 //     correctness baseline and benchmark foil.
 //
@@ -63,13 +67,21 @@ type Object[V any] interface {
 	Scan() ([]V, error)
 }
 
-// validateIDs rejects empty, out-of-range and duplicate component sets.
+// maxBitmaskComponents bounds the stack-allocated duplicate bitmask in
+// validateIDs: 4096 bits = 512 bytes of stack, zeroed per call, which is
+// far cheaper than a map allocation on the hot path.
+const maxBitmaskComponents = 4096
+
+// validateIDs rejects empty, out-of-range and duplicate component sets. It
+// is on the hot path of every operation and allocation-free for all
+// objects up to maxBitmaskComponents components; only larger objects with
+// wide sets fall back to a map.
 func validateIDs(n int, ids []int) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("%w: empty component set", ErrBadComponent)
 	}
 	if len(ids) <= 32 {
-		// Quadratic duplicate check beats a map allocation for small sets.
+		// Quadratic duplicate check beats even the bitmask for small sets.
 		for i, id := range ids {
 			if id < 0 || id >= n {
 				return fmt.Errorf("%w: component %d out of range [0,%d)", ErrBadComponent, id, n)
@@ -79,6 +91,20 @@ func validateIDs(n int, ids []int) error {
 					return fmt.Errorf("%w: duplicate component %d", ErrBadComponent, id)
 				}
 			}
+		}
+		return nil
+	}
+	if n <= maxBitmaskComponents {
+		var seen [maxBitmaskComponents / 64]uint64
+		for _, id := range ids {
+			if id < 0 || id >= n {
+				return fmt.Errorf("%w: component %d out of range [0,%d)", ErrBadComponent, id, n)
+			}
+			w, bit := id/64, uint64(1)<<(id%64)
+			if seen[w]&bit != 0 {
+				return fmt.Errorf("%w: duplicate component %d", ErrBadComponent, id)
+			}
+			seen[w] |= bit
 		}
 		return nil
 	}

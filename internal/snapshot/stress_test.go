@@ -144,6 +144,15 @@ func TestDisjointSetsDoNotInterfere(t *testing.T) {
 	if stats.ScanRetries != 0 || stats.HelpsPosted != 0 || stats.HelpsAdopted != 0 {
 		t.Fatalf("disjoint workload caused interference: %+v (want all zero)", stats)
 	}
+	// The sharded registry makes locality structural: the updaters consulted
+	// their own components' slots on every update and found nothing, because
+	// the scanners never announced anywhere — let alone in those slots.
+	if stats.RegistryWalks == 0 {
+		t.Fatalf("updaters never consulted the registry: %+v", stats)
+	}
+	if stats.RecordsVisited != 0 {
+		t.Fatalf("disjoint workload visited %d registry records, want 0", stats.RecordsVisited)
+	}
 }
 
 // TestContendedScansTerminate hammers a tiny component set from both sides

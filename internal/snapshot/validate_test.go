@@ -1,0 +1,64 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestValidateIDsBitmaskPath exercises the stack-bitmask duplicate check
+// used for sets wider than 32 on objects up to maxBitmaskComponents, and
+// the map fallback above it.
+func TestValidateIDsBitmaskPath(t *testing.T) {
+	// Valid wide set on a mid-size object.
+	ids := make([]int, 64)
+	for i := range ids {
+		ids[i] = i * 3
+	}
+	if err := validateIDs(256, ids); err != nil {
+		t.Fatalf("valid 64-id set rejected: %v", err)
+	}
+	// Duplicate and out-of-range detection on the bitmask path.
+	ids[63] = ids[0]
+	if err := validateIDs(256, ids); !errors.Is(err, ErrBadComponent) {
+		t.Fatalf("duplicate on bitmask path: error = %v, want ErrBadComponent", err)
+	}
+	ids[63] = 256
+	if err := validateIDs(256, ids); !errors.Is(err, ErrBadComponent) {
+		t.Fatalf("out-of-range on bitmask path: error = %v, want ErrBadComponent", err)
+	}
+	// Word-boundary duplicates (same bit word, different words).
+	if err := validateIDs(128, []int{63, 64, 65, 1, 2, 3, 4, 5, 6, 7, 8, 9,
+		10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 63}); !errors.Is(err, ErrBadComponent) {
+		t.Fatal("duplicate across bitmask words not caught")
+	}
+	// Map fallback for objects too large for the bitmask.
+	big := make([]int, 40)
+	for i := range big {
+		big[i] = i * 1000
+	}
+	if err := validateIDs(maxBitmaskComponents*10, big); err != nil {
+		t.Fatalf("valid set on huge object rejected: %v", err)
+	}
+	big[39] = big[0]
+	if err := validateIDs(maxBitmaskComponents*10, big); !errors.Is(err, ErrBadComponent) {
+		t.Fatalf("duplicate on map path: error = %v, want ErrBadComponent", err)
+	}
+}
+
+// TestValidateIDsAllocationFree pins the perf fix: validating a wide set on
+// an object within the bitmask bound must not allocate (the old code built
+// a map per call for every set wider than 32).
+func TestValidateIDsAllocationFree(t *testing.T) {
+	ids := make([]int, 64)
+	for i := range ids {
+		ids[i] = i * 31
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := validateIDs(2048, ids); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("validateIDs allocated %v times per run on the bitmask path, want 0", allocs)
+	}
+}
