@@ -3,6 +3,12 @@
 // and writes the results — including each cell's final contention Stats
 // for implementations that expose them — to a BENCH_*.json file.
 //
+// Scenarios are the named workload shapes of internal/workload (mixed,
+// partitioned, zipfian, batch-heavy, scan-heavy) — the same generator the
+// exploration and stress tests model-check, so every measured scenario is
+// also a correctness-searched one. A scan fraction of -1 (the default)
+// and zero widths take the shape's own defaults.
+//
 // Examples:
 //
 //	snapbench -impls lockfree,rwmutex -goroutines 1,4,8 -components 64 \
@@ -12,6 +18,10 @@
 //	# ranges; emits BENCH_partitioned.json with per-cell Stats.
 //	snapbench -scenario partitioned -goroutines 1,2,4,8 -components 64 \
 //	          -scan-widths 4 -duration 200ms
+//
+//	# Hot-head contention: zipfian-skewed component choice.
+//	snapbench -scenario zipfian -goroutines 4 -components 64 \
+//	          -scan-widths 8 -duration 200ms
 package main
 
 import (
@@ -36,12 +46,13 @@ type report struct {
 
 func main() {
 	impls := flag.String("impls", "lockfree,rwmutex", "comma-separated implementations (lockfree, rwmutex)")
-	scenario := flag.String("scenario", bench.ScenarioMixed, "workload scenario (mixed, partitioned)")
+	scenario := flag.String("scenario", bench.ScenarioMixed,
+		fmt.Sprintf("workload scenario %v", bench.Scenarios()))
 	goroutines := flag.String("goroutines", "1,4,8", "comma-separated goroutine counts")
 	components := flag.String("components", "64", "comma-separated component counts")
 	scanWidths := flag.String("scan-widths", "1,8,32", "comma-separated partial-scan widths")
 	updateWidth := flag.Int("update-width", 2, "components per update")
-	scanFrac := flag.Float64("scan-frac", 0.5, "fraction of operations that are scans")
+	scanFrac := flag.Float64("scan-frac", -1, "fraction of operations that are scans (-1 = the scenario shape's default)")
 	duration := flag.Duration("duration", 200*time.Millisecond, "duration of each benchmark cell")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	out := flag.String("out", "", "output path (default BENCH_<unix>.json)")
@@ -71,6 +82,17 @@ func fail(err error) {
 }
 
 func run(scenario string, impls []string, goroutines, components, scanWidths []int, updateWidth int, scanFrac float64, duration time.Duration, seed int64, out string) error {
+	// A bad scenario name is a sweep-wide mistake: abort before the loop
+	// instead of skipping every cell.
+	known := scenario == ""
+	for _, s := range bench.Scenarios() {
+		if scenario == s {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown scenario %q (want one of %v)", scenario, bench.Scenarios())
+	}
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -78,18 +100,10 @@ func run(scenario string, impls []string, goroutines, components, scanWidths []i
 	}
 	for _, n := range components {
 		for _, w := range scanWidths {
-			if w > n {
-				fmt.Fprintf(os.Stderr, "skipping scan width %d > %d components\n", w, n)
-				continue
-			}
 			if updateWidth > n {
 				fmt.Fprintf(os.Stderr, "clamping update width %d to %d components\n", updateWidth, n)
 			}
 			for _, g := range goroutines {
-				if scenario == bench.ScenarioPartitioned && n/g < max(w, min(updateWidth, n)) {
-					fmt.Fprintf(os.Stderr, "skipping partitioned cell n=%d g=%d: partitions of %d too narrow for widths\n", n, g, n/g)
-					continue
-				}
 				for _, impl := range impls {
 					cfg := bench.Config{
 						Impl:        strings.TrimSpace(impl),
@@ -102,6 +116,14 @@ func run(scenario string, impls []string, goroutines, components, scanWidths []i
 						Duration:    duration,
 						Seed:        seed,
 					}
+					// Infeasible cells (width > components, partitions too
+					// narrow for the RESOLVED widths — a 0 width means the
+					// shape default, so the raw flag value can't be
+					// checked) are skipped; the sweep continues.
+					if _, err := bench.Resolve(cfg); err != nil {
+						fmt.Fprintf(os.Stderr, "skipping %s cell n=%d w=%d g=%d: %v\n", cfg.Impl, n, w, g, err)
+						continue
+					}
 					res, err := bench.Run(cfg)
 					if err != nil {
 						return err
@@ -111,16 +133,18 @@ func run(scenario string, impls []string, goroutines, components, scanWidths []i
 						contention = fmt.Sprintf("  retries=%d visited=%d helps=%d",
 							res.Stats.ScanRetries, res.Stats.RecordsVisited, res.Stats.HelpsPosted)
 					}
+					// res carries the resolved config (shape defaults filled
+					// in), so report that width, not the raw flag value.
 					fmt.Fprintf(os.Stderr, "%-9s %-11s n=%-4d width=%-3d g=%-3d %12.0f ops/sec%s\n",
-						cfg.Impl, scenario, n, w, g, res.OpsPerSec, contention)
+						cfg.Impl, scenario, n, res.ScanWidth, g, res.OpsPerSec, contention)
 					rep.Results = append(rep.Results, res)
 				}
 			}
 		}
 	}
 	if out == "" {
-		if scenario == bench.ScenarioPartitioned {
-			out = "BENCH_partitioned.json"
+		if scenario != "" && scenario != bench.ScenarioMixed {
+			out = fmt.Sprintf("BENCH_%s.json", scenario)
 		} else {
 			out = fmt.Sprintf("BENCH_%d.json", time.Now().Unix())
 		}

@@ -4,53 +4,86 @@
 // discipline of sweeping goroutines × components × scan width and
 // comparing implementations under identical workloads.
 //
-// Two workload scenarios are supported: "mixed" draws every operation's
-// component set uniformly from the whole object, and "partitioned" pins
-// each worker to its own disjoint, equal-size component range — the
-// paper's locality workload, under which the sharded announcement registry
-// must scale with workers while any globally shared structure flatlines.
-// Partitioned results carry the object's final Stats so the perf
-// trajectory captures contention (retries, registry visits), not just
-// throughput.
+// Workloads come from internal/workload: every scenario name maps to a
+// named workload shape (uniform, zipfian, partitioned, batch-heavy,
+// scan-heavy), the same generator that drives the exploration and stress
+// tests — so a scenario that is model-checked for correctness is, by
+// construction, the scenario that gets measured for throughput. Lock-free
+// results carry the object's final Stats so the perf trajectory captures
+// contention (retries, registry visits), not just throughput.
 package bench
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"partialsnapshot/internal/snapshot"
+	"partialsnapshot/internal/workload"
 )
 
-// Scenario names for Config.Scenario.
+// Scenario names for Config.Scenario, each an internal/workload shape
+// ("mixed" is the legacy alias of the uniform shape).
 const (
-	// ScenarioMixed is the default: every worker draws component sets from
-	// the whole object.
+	// ScenarioMixed is the default: every worker draws component sets
+	// uniformly from the whole object.
 	ScenarioMixed = "mixed"
 	// ScenarioPartitioned pins worker g of G to the component range
 	// [g*(n/G), (g+1)*(n/G)): workloads on disjoint ranges, the locality
 	// scenario.
-	ScenarioPartitioned = "partitioned"
+	ScenarioPartitioned = string(workload.Partitioned)
+	// ScenarioZipfian skews traffic onto a few hot components.
+	ScenarioZipfian = string(workload.Zipfian)
+	// ScenarioBatchHeavy is update-dominated wide multi-component batches.
+	ScenarioBatchHeavy = string(workload.BatchHeavy)
+	// ScenarioScanHeavy is scan-dominated wide partial scans.
+	ScenarioScanHeavy = string(workload.ScanHeavy)
 )
+
+// Scenarios lists every accepted scenario name.
+func Scenarios() []string {
+	out := []string{ScenarioMixed}
+	for _, s := range workload.Shapes() {
+		if s != workload.Uniform {
+			out = append(out, string(s))
+		}
+	}
+	return out
+}
+
+// shapeFor maps a scenario name to its workload shape.
+func shapeFor(scenario string) (workload.Shape, error) {
+	if scenario == "" || scenario == ScenarioMixed {
+		return workload.Uniform, nil
+	}
+	for _, s := range workload.Shapes() {
+		if scenario == string(s) {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("bench: unknown scenario %q (want one of %v)", scenario, Scenarios())
+}
 
 // Config describes one benchmark cell.
 type Config struct {
 	// Impl selects the implementation: "lockfree" or "rwmutex".
 	Impl string `json:"impl"`
 	// Scenario selects the workload shape: ScenarioMixed (default, also
-	// selected by "") or ScenarioPartitioned.
+	// selected by "") or any other Scenarios() entry.
 	Scenario string `json:"scenario,omitempty"`
 	// Goroutines is the number of worker goroutines.
 	Goroutines int `json:"goroutines"`
 	// Components is n, the size of the snapshot object.
 	Components int `json:"components"`
-	// ScanWidth is the number of components each PartialScan names.
+	// ScanWidth is the number of components each PartialScan names
+	// (0 = the scenario shape's default).
 	ScanWidth int `json:"scan_width"`
-	// UpdateWidth is the number of components each Update names.
+	// UpdateWidth is the number of components each Update names
+	// (0 = the scenario shape's default).
 	UpdateWidth int `json:"update_width"`
-	// ScanFrac is the fraction of operations that are scans, in [0,1].
+	// ScanFrac is the fraction of operations that are scans, in [0,1];
+	// negative selects the scenario shape's default.
 	ScanFrac float64 `json:"scan_frac"`
 	// Duration is how long the workload runs.
 	Duration time.Duration `json:"duration_ns"`
@@ -84,46 +117,69 @@ func NewObject(impl string, n int) (snapshot.Object[int64], error) {
 	}
 }
 
+// generator validates cfg and builds its workload generator. The resolved
+// workload config (shape defaults filled in) is folded back into the
+// bench config so the emitted JSON records the widths and mix that
+// actually ran.
+func generator(cfg Config) (*workload.Generator, Config, error) {
+	if cfg.Goroutines <= 0 || cfg.Components <= 0 {
+		return nil, cfg, fmt.Errorf("bench: goroutines and components must be positive, got %d and %d", cfg.Goroutines, cfg.Components)
+	}
+	shape, err := shapeFor(cfg.Scenario)
+	if err != nil {
+		return nil, cfg, err
+	}
+	gen, err := workload.New(workload.Config{
+		Shape:       shape,
+		Components:  cfg.Components,
+		Workers:     cfg.Goroutines,
+		ScanWidth:   cfg.ScanWidth,
+		UpdateWidth: cfg.UpdateWidth,
+		ScanFrac:    cfg.ScanFrac,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, cfg, fmt.Errorf("bench: %w", err)
+	}
+	resolved := gen.Config()
+	cfg.ScanWidth = resolved.ScanWidth
+	cfg.UpdateWidth = resolved.UpdateWidth
+	cfg.ScanFrac = resolved.ScanFrac
+	return gen, cfg, nil
+}
+
+// Resolve validates cfg's workload dimensions and returns it with the
+// scenario shape's defaults filled in (widths, scan fraction). Callers
+// sweeping a matrix use it to tell an infeasible cell (skip it) from a
+// sweep-wide mistake before paying for a run; it does not check Impl,
+// which Run validates.
+func Resolve(cfg Config) (Config, error) {
+	_, resolved, err := generator(cfg)
+	return resolved, err
+}
+
 // Run executes one benchmark cell.
 func Run(cfg Config) (Result, error) {
-	if cfg.Goroutines <= 0 || cfg.Components <= 0 {
-		return Result{}, fmt.Errorf("bench: goroutines and components must be positive, got %d and %d", cfg.Goroutines, cfg.Components)
-	}
-	if cfg.ScanWidth <= 0 || cfg.ScanWidth > cfg.Components {
-		return Result{}, fmt.Errorf("bench: scan width %d out of range [1,%d]", cfg.ScanWidth, cfg.Components)
-	}
-	if cfg.UpdateWidth <= 0 || cfg.UpdateWidth > cfg.Components {
-		return Result{}, fmt.Errorf("bench: update width %d out of range [1,%d]", cfg.UpdateWidth, cfg.Components)
-	}
-	if cfg.ScanFrac < 0 || cfg.ScanFrac > 1 {
-		return Result{}, fmt.Errorf("bench: scan fraction %v out of range [0,1]", cfg.ScanFrac)
-	}
-	switch cfg.Scenario {
-	case "", ScenarioMixed:
-	case ScenarioPartitioned:
-		part := cfg.Components / cfg.Goroutines
-		if part < cfg.ScanWidth || part < cfg.UpdateWidth {
-			return Result{}, fmt.Errorf("bench: partitioned scenario needs components/goroutines >= widths, got partition size %d for widths %d/%d",
-				part, cfg.ScanWidth, cfg.UpdateWidth)
-		}
-	default:
-		return Result{}, fmt.Errorf("bench: unknown scenario %q (want %s or %s)", cfg.Scenario, ScenarioMixed, ScenarioPartitioned)
+	gen, cfg, err := generator(cfg)
+	if err != nil {
+		return Result{}, err
 	}
 	obj, err := NewObject(cfg.Impl, cfg.Components)
 	if err != nil {
 		return Result{}, err
 	}
-	return runWithObject(obj, cfg)
+	return runWithObject(obj, gen, cfg)
 }
 
 // runWithObject drives a validated config against obj. Each worker
-// repeatedly picks a component set of the configured width — from the
-// whole object or from its own partition, per the scenario — and either
-// updates it or partially scans it, until the duration elapses or a worker
-// fails. A worker's counts are flushed via defer so ops completed before a
-// failure still reach the Result, and the first error trips a shared stop
-// that cancels the clock and the other workers promptly.
-func runWithObject(obj snapshot.Object[int64], cfg Config) (Result, error) {
+// replays its own deterministic workload stream — drawing the next
+// operation is allocation-free, so the timed loop charges no harness
+// overhead to the implementation under test — until the duration elapses
+// or a worker fails. A worker's counts are flushed via defer so ops
+// completed before a failure still reach the Result, and the first error
+// trips a shared stop that cancels the clock and the other workers
+// promptly.
+func runWithObject(obj snapshot.Object[int64], gen *workload.Generator, cfg Config) (Result, error) {
 	var stop atomic.Bool
 	var updates, scans atomic.Uint64
 	var wg sync.WaitGroup
@@ -147,25 +203,18 @@ func runWithObject(obj snapshot.Object[int64], cfg Config) (Result, error) {
 				firstErr.CompareAndSwap(nil, &e)
 				halt()
 			}
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)))
-			pool := workerPool(cfg, worker)
-			vals := make([]int64, cfg.UpdateWidth)
-			var seq int64
+			stream := gen.Stream(worker)
 			for !stop.Load() {
-				if rng.Float64() < cfg.ScanFrac {
-					set := randomSet(rng, pool, cfg.ScanWidth)
-					if _, err := obj.PartialScan(set); err != nil {
+				op := stream.Next()
+				switch op.Kind {
+				case workload.OpScan:
+					if _, err := obj.PartialScan(op.Comps); err != nil {
 						fail(err)
 						return
 					}
 					localScans++
-				} else {
-					set := randomSet(rng, pool, cfg.UpdateWidth)
-					seq++
-					for i := range cfg.UpdateWidth {
-						vals[i] = int64(worker)<<32 | seq
-					}
-					if err := obj.Update(set, vals[:cfg.UpdateWidth]); err != nil {
+				case workload.OpUpdate:
+					if err := obj.Update(op.Comps, op.Vals); err != nil {
 						fail(err)
 						return
 					}
@@ -197,34 +246,4 @@ func runWithObject(obj snapshot.Object[int64], cfg Config) (Result, error) {
 		res.Stats = &st
 	}
 	return res, nil
-}
-
-// workerPool returns the component ids the worker draws its sets from: the
-// whole object in the mixed scenario, the worker's own disjoint range in
-// the partitioned one.
-func workerPool(cfg Config, worker int) []int {
-	lo, n := 0, cfg.Components
-	if cfg.Scenario == ScenarioPartitioned {
-		n = cfg.Components / cfg.Goroutines
-		lo = worker * n
-	}
-	pool := make([]int, n)
-	for i := range pool {
-		pool[i] = lo + i
-	}
-	return pool
-}
-
-// randomSet returns a uniform random k-subset of pool as its first k
-// slots, via a partial Fisher–Yates over the caller's persistent pool
-// buffer: O(k) per call and allocation-free, so the timed loop charges no
-// harness overhead to the implementation under test. pool stays a
-// permutation of itself across calls.
-func randomSet(rng *rand.Rand, pool []int, k int) []int {
-	n := len(pool)
-	for i := 0; i < k; i++ {
-		j := i + rng.Intn(n-i)
-		pool[i], pool[j] = pool[j], pool[i]
-	}
-	return pool[:k]
 }

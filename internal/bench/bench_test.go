@@ -35,11 +35,57 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestRunEveryScenario drives each named workload shape through a short
+// cell and checks the shape left its fingerprint: defaults resolved into
+// the Result (so BENCH json records what actually ran) and the scan/update
+// mix matches the shape's bias.
+func TestRunEveryScenario(t *testing.T) {
+	for _, scenario := range bench.Scenarios() {
+		t.Run(scenario, func(t *testing.T) {
+			res, err := bench.Run(bench.Config{
+				Impl:       "lockfree",
+				Scenario:   scenario,
+				Goroutines: 4,
+				Components: 16,
+				ScanFrac:   -1, // shape default
+				Duration:   20 * time.Millisecond,
+				Seed:       1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.UpdateOps+res.ScanOps == 0 {
+				t.Fatal("no operations completed")
+			}
+			if res.ScanWidth == 0 || res.UpdateWidth == 0 || res.ScanFrac < 0 {
+				t.Fatalf("shape defaults not resolved into the result: %+v", res.Config)
+			}
+			switch scenario {
+			case bench.ScenarioScanHeavy:
+				if res.ScanOps <= res.UpdateOps {
+					t.Fatalf("scan-heavy ran %d scans vs %d updates", res.ScanOps, res.UpdateOps)
+				}
+			case bench.ScenarioBatchHeavy:
+				if res.UpdateOps <= res.ScanOps {
+					t.Fatalf("batch-heavy ran %d updates vs %d scans", res.UpdateOps, res.ScanOps)
+				}
+				if res.UpdateWidth < res.Components/2 {
+					t.Fatalf("batch-heavy update width = %d on %d components", res.UpdateWidth, res.Components)
+				}
+			case bench.ScenarioPartitioned:
+				if res.Stats == nil || res.Stats.RecordsVisited != 0 {
+					t.Fatalf("partitioned cell saw registry interference: %+v", res.Stats)
+				}
+			}
+		})
+	}
+}
+
 func TestRunRejectsBadConfig(t *testing.T) {
 	bad := []bench.Config{
 		{Impl: "lockfree", Goroutines: 0, Components: 8, ScanWidth: 1, UpdateWidth: 1},
 		{Impl: "lockfree", Goroutines: 1, Components: 8, ScanWidth: 9, UpdateWidth: 1},
-		{Impl: "lockfree", Goroutines: 1, Components: 8, ScanWidth: 1, UpdateWidth: 0},
+		{Impl: "lockfree", Goroutines: 1, Components: 8, ScanWidth: 1, UpdateWidth: -1},
 		{Impl: "lockfree", Goroutines: 1, Components: 8, ScanWidth: 1, UpdateWidth: 1, ScanFrac: 1.5},
 		{Impl: "nonesuch", Goroutines: 1, Components: 8, ScanWidth: 1, UpdateWidth: 1},
 		{Impl: "lockfree", Scenario: "nonesuch", Goroutines: 1, Components: 8, ScanWidth: 1, UpdateWidth: 1},

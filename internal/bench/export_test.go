@@ -1,6 +1,14 @@
 package bench
 
+import "partialsnapshot/internal/snapshot"
+
 // RunWithObject exposes the workload driver to tests so they can inject a
 // failing Object implementation; Run's public path always constructs a
 // healthy one, which can never exercise the error handling.
-var RunWithObject = runWithObject
+func RunWithObject(obj snapshot.Object[int64], cfg Config) (Result, error) {
+	gen, cfg, err := generator(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return runWithObject(obj, gen, cfg)
+}

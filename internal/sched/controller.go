@@ -196,6 +196,29 @@ func (c *Controller) Detach(name string) {
 	}
 }
 
+// DetachAll detaches every controlled goroutine that has not finished, so
+// an abandoned schedule (livelock abort, nondeterminism abort) drains to
+// completion instead of leaking parked goroutines. Running goroutines stop
+// parking at their next yield; parked ones are released immediately.
+func (c *Controller) DetachAll() {
+	c.mu.Lock()
+	var release []*goroutineState
+	for _, g := range c.byName {
+		if g.done || g.detached {
+			continue
+		}
+		g.detached = true
+		if g.parked {
+			g.parked = false
+			release = append(release, g)
+		}
+	}
+	c.mu.Unlock()
+	for _, g := range release {
+		g.resume <- struct{}{}
+	}
+}
+
 // Wait blocks until the named goroutine finishes. The goroutine must be
 // running or detached — waiting on a parked goroutine would deadlock, and
 // the watchdog reports it as such.

@@ -19,9 +19,10 @@ const maxExploreSteps = 1_000_000
 //
 // Usage: NewExplorer(seed), spawn workers via e.C.Spawn, then e.Run().
 type Explorer struct {
-	C     *Controller
-	rng   *rand.Rand
-	trace []string
+	C         *Controller
+	rng       *rand.Rand
+	trace     []string
+	decisions Trace
 }
 
 // NewExplorer returns an explorer whose schedule is fully determined by
@@ -46,6 +47,9 @@ func (e *Explorer) Run() int {
 				maxExploreSteps, e.tail(40)))
 		}
 		name := runnable[e.rng.Intn(len(runnable))]
+		if from, fromArg, parked := e.C.AwaitPark(name); parked {
+			e.decisions = append(e.decisions, Step{Gor: name, Point: from, Arg: fromArg})
+		}
 		p, arg, ok := e.C.Step(name)
 		if ok {
 			e.trace = append(e.trace, fmt.Sprintf("%s@%s(%d)", name, p, arg))
@@ -57,9 +61,19 @@ func (e *Explorer) Run() int {
 }
 
 // Trace returns the schedule taken so far, one "name@point(arg)" entry per
-// step. Identical seeds produce identical traces.
+// step. Identical seeds produce identical traces. Entries record where each
+// step ENDED (the post-step park), which is what a human reads in a failure
+// dump; Decisions records where each step began, which is what replays.
 func (e *Explorer) Trace() []string {
 	return append([]string(nil), e.trace...)
+}
+
+// Decisions returns the schedule as a replayable Trace: the pre-resume park
+// position of every scheduling decision. Feeding it to ReplayTrace (or
+// saving it with WriteTraceFile) reproduces this exploration's interleaving
+// without the Explorer or its seed.
+func (e *Explorer) Decisions() Trace {
+	return append(Trace(nil), e.decisions...)
 }
 
 func (e *Explorer) tail(n int) string {

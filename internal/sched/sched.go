@@ -65,6 +65,14 @@ const (
 	// component, which is what makes retire-during-walk races scriptable.
 	PreSlotWalk Point = "pre-slot-walk"
 
+	// PreUnlink fires before a lazy-unlink CAS that removes a retired
+	// enrollment from a registry slot — on the walk path and on the
+	// enroll-time head cleanup alike. arg = the slot's component id.
+	// Scripts use it to race two unlinkers of the same enrollment, or an
+	// unlinker against a fresh enroller of the same slot (the
+	// lose-or-resurrect races the registry documents as harmless).
+	PreUnlink Point = "pre-unlink"
+
 	// PreHelpScan fires when an updater decides to help an announced record,
 	// before its embedded scan starts. arg = the embedded scan's level
 	// (target level + 1).

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Step is one scheduling decision: the named goroutine was resumed from the
+// recorded yield position. A serialised execution is fully determined by the
+// sequence of these decisions, so a Trace doubles as a replayable schedule
+// (the positions are redundant for replay and serve as a drift check: if a
+// replayed goroutine is not parked where the trace says, the scenario and
+// the trace have diverged).
+type Step struct {
+	Gor   string
+	Point Point
+	Arg   int
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("%s@%s(%d)", s.Gor, s.Point, s.Arg)
+}
+
+// Trace is a recorded schedule: the decisions of one serialised execution,
+// in order.
+type Trace []Step
+
+// Strings renders the trace one decision per line, the format used in
+// failure dumps and trace files.
+func (t Trace) Strings() []string {
+	out := make([]string, len(t))
+	for i, s := range t {
+		out[i] = s.String()
+	}
+	return out
+}
+
+func (t Trace) String() string { return strings.Join(t.Strings(), "\n") }
+
+// parseStep inverts Step.String.
+func parseStep(line string) (Step, error) {
+	at := strings.LastIndex(line, "@")
+	open := strings.LastIndex(line, "(")
+	if at <= 0 || open <= at || !strings.HasSuffix(line, ")") {
+		return Step{}, fmt.Errorf("sched: malformed trace step %q", line)
+	}
+	arg, err := strconv.Atoi(line[open+1 : len(line)-1])
+	if err != nil {
+		return Step{}, fmt.Errorf("sched: malformed trace step %q: %v", line, err)
+	}
+	return Step{Gor: line[:at], Point: Point(line[at+1 : open]), Arg: arg}, nil
+}
+
+// WriteTraceFile saves a recorded schedule plus scenario metadata (shape,
+// seed, sizes — whatever the test needs to rebuild the same scenario) in a
+// line-oriented text format. The file replays a failure without re-running
+// the search: see ReadTraceFile and ReplayTrace.
+func WriteTraceFile(path string, meta map[string]string, tr Trace) error {
+	var b strings.Builder
+	b.WriteString("# partialsnapshot sched trace\n")
+	// Deterministic meta order keeps the files diffable.
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "# %s: %s\n", k, meta[k])
+	}
+	for _, s := range tr {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// ReadTraceFile loads a schedule written by WriteTraceFile, returning the
+// decisions and the metadata map.
+func ReadTraceFile(path string) (Trace, map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta := make(map[string]string)
+	var tr Trace
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			if k, v, ok := strings.Cut(body, ":"); ok {
+				meta[strings.TrimSpace(k)] = strings.TrimSpace(v)
+			}
+			continue
+		}
+		s, err := parseStep(line)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr = append(tr, s)
+	}
+	return tr, meta, nil
+}

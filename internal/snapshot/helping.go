@@ -72,10 +72,15 @@ func (o *LockFree[V]) helpIntersectingScans(ids []int, op uint64) {
 //
 // ok=false means the target no longer needs help (its scan completed or
 // somebody else posted first) — a need-based exit, not a bounded bail-out.
+// The one exception is the helpBound mutation seam: a test-injected bound
+// re-creates the old lock-free-only behaviour of giving up after a fixed
+// number of failed collects, which the model-checking tests use to prove
+// the searcher catches the resulting protocol violation.
 func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, depth int, ok bool) {
 	a := make([]*cell[V], len(target.ids))
 	b := make([]*cell[V], len(target.ids))
 	level := target.level + 1
+	failures := 0
 	// Fast path: try one unannounced double collect first.
 	o.collect(target.ids, a)
 	o.yield(sched.PostFirstCollect, level)
@@ -84,6 +89,10 @@ func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, 
 		return cellVals(b), level, true
 	}
 	o.scanRetries.Add(1)
+	failures++
+	if o.helpBound > 0 && failures >= o.helpBound {
+		return nil, 0, false // injected mutation: abandon the scanner
+	}
 	rec := &scanRecord[V]{ids: target.ids, level: level}
 	o.announce(rec)
 	defer o.retire(rec)
@@ -99,6 +108,10 @@ func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, 
 			return cellVals(b), level, true
 		}
 		o.scanRetries.Add(1)
+		failures++
+		if o.helpBound > 0 && failures >= o.helpBound {
+			return nil, 0, false // injected mutation: abandon the scanner
+		}
 		if h := rec.help.Load(); h != nil {
 			o.yield(sched.PreAdopt, level)
 			o.helpsAdopted.Add(1)

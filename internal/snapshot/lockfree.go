@@ -24,6 +24,14 @@ type LockFree[V any] struct {
 	all   []int                  // cached [0..n) for Scan
 	sched sched.Scheduler        // nil outside schedule-injection tests
 
+	// helpBound, when positive, re-introduces the pre-wait-free bug on
+	// purpose: an embedded scan gives up without posting help once it has
+	// failed helpBound double collects. It exists ONLY as a mutation seam
+	// for the model-checking tests, which assert the DFS searcher detects
+	// the resulting obstruction-without-help schedules; production objects
+	// always leave it 0 (unbounded helping, the paper's protocol).
+	helpBound int
+
 	scanRetries  atomic.Uint64
 	helpsPosted  atomic.Uint64
 	helpsAdopted atomic.Uint64
@@ -53,6 +61,7 @@ func NewLockFree[V any](n int) *LockFree[V] {
 // safe to race with operations.
 func (o *LockFree[V]) Instrument(s sched.Scheduler) *LockFree[V] {
 	o.sched = s
+	o.reg.yield = o.yield
 	return o
 }
 

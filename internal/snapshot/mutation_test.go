@@ -1,0 +1,205 @@
+package snapshot
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"partialsnapshot/internal/sched"
+	"partialsnapshot/internal/spec"
+)
+
+// Mutation sanity check: a model checker that can only pass is worthless,
+// so this file re-introduces the pre-wait-free bug on purpose — an
+// injected helpBound makes an obstructing updater's embedded scan give up
+// without posting help, exactly the bounded helper PR 2 removed — and
+// asserts the DFSExplorer FINDS the resulting protocol violation within a
+// small preemption bound, while the identical search on the intact object
+// exhausts cleanly. The searcher demonstrably distinguishes the paper's
+// protocol from its best-known wrong neighbour.
+
+// mutationScenario stages the smallest state from which one preemption
+// separates the intact protocol from the bounded one. Deterministic setup
+// (scripted, not explored):
+//
+//   - "obstructor" has walked the still-empty slot 0 and parked before its
+//     store — the finitely-many pre-walk updates of the termination
+//     argument, owing the scanner nothing.
+//   - "scanner" was obstructed out of its fast path (by a direct setup
+//     update), announced {0,1}, and parked inside its announced collect
+//     gap.
+//   - "helper" is an update of component 0 parked at its start: every walk
+//     it makes happens after the announcement, so the protocol obliges it
+//     to leave help on the record before storing.
+//
+// The search then owns the schedule. The oracle's trip wire is the
+// walk-after-enroll ⇒ help-before-store obligation itself: if the trace
+// shows the scanner failing a post-helper-store double collect twice (the
+// second failed iteration proves it found no help to adopt) while nobody
+// ever posted help and the scan never adopted, the wait-freedom argument
+// has a hole. With helpBound=1 the obstructor's store inside the helper's
+// embedded collect gap makes the helper give up and store anyway — one
+// preemption, caught; with helpBound=0 (intact) no schedule can trip it.
+func mutationScenario(bound int) sched.Scenario {
+	return func(c *sched.Controller) sched.Oracle {
+		o := NewLockFree[int64](2).Instrument(c)
+		o.helpBound = bound
+		rec := &spec.Recorder[int64]{}
+		var mu sync.Mutex
+		var opErrs []error
+		fail := func(err error) {
+			mu.Lock()
+			opErrs = append(opErrs, err)
+			mu.Unlock()
+		}
+		setupErr := func(format string, args ...any) sched.Oracle {
+			err := fmt.Errorf(format, args...)
+			return func(sched.Trace) error { return err }
+		}
+		update := func(name string, val int64) {
+			c.Spawn(name, func() {
+				start := rec.Now()
+				id, err := o.UpdateOp([]int{0}, []int64{val})
+				if err != nil {
+					fail(fmt.Errorf("%s: %w", name, err))
+					return
+				}
+				rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
+					Comps: []int{0}, Vals: []int64{val}, UpdateID: id})
+			})
+		}
+
+		// Pre-positioned obstructor: past its registry walk, store pending.
+		update("obstructor", 2)
+		if _, ok := c.StepUntil("obstructor", sched.PreCellStore); !ok {
+			return setupErr("obstructor finished before parking at its store")
+		}
+
+		// Scanner driven into its announced collect gap.
+		var info ScanInfo
+		var scanVals []int64
+		c.Spawn("scanner", func() {
+			start := rec.Now()
+			vals, si, err := o.PartialScanInfo([]int{0, 1})
+			if err != nil {
+				fail(fmt.Errorf("scanner: %w", err))
+				return
+			}
+			scanVals, info = vals, si
+			rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(),
+				Comps: []int{0, 1}, Vals: vals, AdoptedFrom: si.HelperOp})
+		})
+		if _, ok := c.StepUntil("scanner", sched.PostFirstCollect); !ok {
+			return setupErr("scanner finished before its fast collect gap")
+		}
+		// The fast-path obstruction runs uncontrolled on the setup
+		// goroutine: it walks the (still announcement-free) slot and stores.
+		start := rec.Now()
+		setupOp, err := o.UpdateOp([]int{0}, []int64{1})
+		if err != nil {
+			return setupErr("setup update: %v", err)
+		}
+		rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
+			Comps: []int{0}, Vals: []int64{1}, UpdateID: setupOp})
+		if _, ok := c.StepUntil("scanner", sched.PostAnnounce); !ok {
+			return setupErr("scanner finished without announcing")
+		}
+		if _, ok := c.StepUntil("scanner", sched.PostFirstCollect); !ok {
+			return setupErr("scanner finished before its announced collect gap")
+		}
+
+		// The helper: spawned after the announcement, so its walk of slot 0
+		// is oblige-to-help by construction. The search explores from here.
+		update("helper", 3)
+
+		return func(tr sched.Trace) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if len(opErrs) > 0 {
+				return opErrs[0]
+			}
+			ops := rec.Ops()
+			if err := spec.Check(2, ops); err != nil {
+				return fmt.Errorf("schedule rejected by spec: %w", err)
+			}
+			if err := spec.CheckProvenance(ops); err != nil {
+				return fmt.Errorf("schedule rejected by provenance check: %w", err)
+			}
+			// The wait-freedom obligation. Find the helper's store step...
+			helperStore := -1
+			for i, st := range tr {
+				if st.Gor == "helper" && st.Point == sched.PreCellStore {
+					helperStore = i
+					break
+				}
+			}
+			if helperStore < 0 {
+				return nil // schedule ended before the helper stored; nothing owed
+			}
+			// ...and count announced-loop iterations the scanner completed
+			// after it. Two resumes from the collect gap after the store
+			// mean: one iteration failed against the store AND found no
+			// help posted (else it would have adopted, not re-parked).
+			post := 0
+			for _, st := range tr[helperStore+1:] {
+				if st.Gor == "scanner" && st.Point == sched.PostFirstCollect {
+					post++
+				}
+			}
+			if post >= 2 && !info.Adopted && o.Stats().HelpsPosted == 0 {
+				return fmt.Errorf(
+					"wait-freedom violation: helper walked slot 0 after the announcement, stored, obstructed the scanner (%d post-store collect iterations, final view %v) and never posted help",
+					post, scanVals)
+			}
+			return nil
+		}
+	}
+}
+
+// TestMutationBoundedHelperIsCaught re-bounds helping via the injected
+// limit and requires the systematic search to find the starvation-shaped
+// violation within two preemptions — then shrink it and replay it. The
+// control arm runs the identical search against the intact object and
+// must exhaust with every schedule passing.
+func TestMutationBoundedHelperIsCaught(t *testing.T) {
+	d := &sched.DFSExplorer{MaxPreemptions: 2, MaxSchedules: 20000, Timeout: 30 * time.Second}
+
+	intact := d.Explore(mutationScenario(0))
+	if intact.Failure != nil {
+		t.Fatalf("intact protocol failed schedule %d: %v\n%s",
+			intact.Failure.Schedule, intact.Failure.Err, intact.Failure.Trace)
+	}
+	if !intact.Exhausted {
+		t.Fatalf("intact search did not exhaust: %+v", intact)
+	}
+
+	mutated := d.Explore(mutationScenario(1))
+	if mutated.Failure == nil {
+		t.Fatalf("the searcher cannot fail: bounded helper survived %d schedules at preemption bound %d",
+			mutated.Schedules, d.MaxPreemptions)
+	}
+	f := mutated.Failure
+	if len(f.Trace) > len(f.RawTrace) {
+		t.Fatalf("shrunk trace grew: %d > %d steps", len(f.Trace), len(f.RawTrace))
+	}
+	// The shrunk trace replays to a failure without any searching.
+	if _, err := d.Replay(mutationScenario(1), f.Trace); err == nil {
+		t.Fatalf("shrunk failing trace replayed clean:\n%s", f.Trace)
+	}
+	// And the intact object sails through the schedule that kills the
+	// mutant. Tolerant replay, because the intact helper takes extra yield
+	// points (it announces its embedded record instead of giving up), so a
+	// strict position-checked replay cannot apply across the two variants.
+	c := sched.NewController()
+	intactOracle := mutationScenario(0)(c)
+	got, err := sched.ReplayTrace(c, f.Trace, false)
+	if err != nil {
+		t.Fatalf("tolerant replay on the intact object broke down: %v", err)
+	}
+	if err := intactOracle(got); err != nil {
+		t.Fatalf("intact object failed the mutant-killing schedule: %v\n%s", err, got)
+	}
+	t.Logf("mutant caught at schedule %d/%d: %v\nshrunk trace (%d steps):\n%s",
+		f.Schedule, mutated.Schedules, f.Err, len(f.Trace), f.Trace)
+}

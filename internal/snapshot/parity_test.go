@@ -1,0 +1,241 @@
+package snapshot_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"partialsnapshot/internal/snapshot"
+	"partialsnapshot/internal/spec"
+	"partialsnapshot/internal/workload"
+)
+
+// The parity suite runs the RWMutex reference and the LockFree object
+// through IDENTICAL workload shapes — same generator, same seed, same
+// per-worker op streams — and holds both to the same spec oracle, then
+// diffs what each implementation's invariants promise: equal op counts,
+// equal sequential semantics, and the lock-free Stats hygiene per shape.
+
+// parityCfg sizes one shape's parity cell; widths are explicit where the
+// tiny object makes shape defaults infeasible.
+func parityCfg(shape workload.Shape) workload.Config {
+	cfg := workload.Config{Shape: shape, Components: 8, Workers: 4, ScanFrac: -1, Seed: 11}
+	if shape == workload.Partitioned {
+		cfg.ScanWidth, cfg.UpdateWidth = 2, 1 // pools of 2
+	}
+	return cfg
+}
+
+// runParityWorkload drives every worker's stream concurrently against obj
+// (run with -race), recording the history, and returns it with the op
+// counts.
+func runParityWorkload(t *testing.T, obj snapshot.Object[int64], gen *workload.Generator, opsPerWorker int) ([]spec.Op[int64], [2]int) {
+	t.Helper()
+	rec := &spec.Recorder[int64]{}
+	lf, isLockFree := obj.(*snapshot.LockFree[int64])
+	var wg sync.WaitGroup
+	var counts [2]int // scans, updates
+	var mu sync.Mutex
+	for w := 0; w < gen.Config().Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scans, updates := 0, 0
+			for _, op := range gen.Ops(w, opsPerWorker) {
+				switch op.Kind {
+				case workload.OpUpdate:
+					start := rec.Now()
+					var id uint64
+					var err error
+					if isLockFree {
+						id, err = lf.UpdateOp(op.Comps, op.Vals)
+					} else {
+						err = obj.Update(op.Comps, op.Vals)
+					}
+					if err != nil {
+						t.Errorf("worker %d: Update%v: %v", w, op.Comps, err)
+						return
+					}
+					updates++
+					rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
+						Comps: op.Comps, Vals: op.Vals, UpdateID: id})
+				case workload.OpScan:
+					start := rec.Now()
+					var vals []int64
+					var info snapshot.ScanInfo
+					var err error
+					if isLockFree {
+						vals, info, err = lf.PartialScanInfo(op.Comps)
+					} else {
+						vals, err = obj.PartialScan(op.Comps)
+					}
+					if err != nil {
+						t.Errorf("worker %d: PartialScan%v: %v", w, op.Comps, err)
+						return
+					}
+					scans++
+					rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(),
+						Comps: op.Comps, Vals: vals, AdoptedFrom: info.HelperOp})
+				}
+			}
+			mu.Lock()
+			counts[0] += scans
+			counts[1] += updates
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return rec.Ops(), counts
+}
+
+// TestParityAcrossWorkloadShapes is the concurrent arm: for every shape,
+// both implementations absorb the same traffic under -race, every history
+// passes the same spec + provenance oracle, both implementations complete
+// the same operation mix, and the lock-free Stats invariants hold per
+// shape (hygiene everywhere, structural non-interference when the shape
+// is partitioned).
+func TestParityAcrossWorkloadShapes(t *testing.T) {
+	opsPerWorker := 300
+	if testing.Short() {
+		opsPerWorker = 60
+	}
+	for _, shape := range workload.Shapes() {
+		t.Run(string(shape), func(t *testing.T) {
+			cfg := parityCfg(shape)
+			countsByImpl := map[string][2]int{}
+			for _, impl := range []string{"lockfree", "rwmutex"} {
+				t.Run(impl, func(t *testing.T) {
+					gen, err := workload.New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var obj snapshot.Object[int64]
+					if impl == "lockfree" {
+						obj = snapshot.NewLockFree[int64](cfg.Components)
+					} else {
+						obj = snapshot.NewRWMutex[int64](cfg.Components)
+					}
+					ops, counts := runParityWorkload(t, obj, gen, opsPerWorker)
+					if t.Failed() {
+						return
+					}
+					countsByImpl[impl] = counts
+					if err := spec.Check(cfg.Components, ops); err != nil {
+						t.Fatalf("%s/%s history of %d ops rejected by spec: %v", shape, impl, len(ops), err)
+					}
+					if err := spec.CheckProvenance(ops); err != nil {
+						t.Fatalf("%s/%s history rejected by provenance check: %v", shape, impl, err)
+					}
+					lf, ok := obj.(*snapshot.LockFree[int64])
+					if !ok {
+						// The reference implementation intentionally has no
+						// Stats surface; the parity claim is that it needs
+						// none.
+						if _, has := obj.(interface{ Stats() snapshot.Stats }); has {
+							t.Fatal("rwmutex grew a Stats surface; update the parity suite")
+						}
+						return
+					}
+					st := lf.Stats()
+					if st.LiveAnnouncements != 0 {
+						t.Fatalf("%s leaked %d live announcements", shape, st.LiveAnnouncements)
+					}
+					if st.RegistryWalks == 0 {
+						t.Fatalf("%s updaters never consulted the registry: %+v", shape, st)
+					}
+					if shape == workload.Partitioned {
+						// Single-worker partitions: no announcement is ever
+						// live where a foreign (or even a concurrent own)
+						// walk looks.
+						if st.RecordsVisited != 0 || st.HelpsPosted != 0 || st.ScanRetries != 0 {
+							t.Fatalf("partitioned workload interfered: %+v", st)
+						}
+					}
+					t.Logf("%s/%s: %d ops, stats %+v", shape, impl, len(ops), st)
+				})
+			}
+			if t.Failed() {
+				return
+			}
+			if len(countsByImpl) < 2 {
+				// A -run filter selected a single implementation subtest;
+				// there is nothing to diff.
+				return
+			}
+			// Same generator, same seed ⇒ both implementations must have
+			// executed the identical operation mix.
+			if countsByImpl["lockfree"] != countsByImpl["rwmutex"] {
+				t.Fatalf("op mix diverged between implementations: lockfree %v, rwmutex %v",
+					countsByImpl["lockfree"], countsByImpl["rwmutex"])
+			}
+		})
+	}
+}
+
+// TestParitySequentialSemantics is the deterministic arm: the same op
+// stream applied round-robin, one op at a time, to both implementations
+// and the sequential model must leave all three in byte-identical states
+// and answer every scan identically — batch-atomicity differences between
+// the implementations are invisible without concurrency, so any
+// divergence here is a plain bug.
+func TestParitySequentialSemantics(t *testing.T) {
+	for _, shape := range workload.Shapes() {
+		t.Run(string(shape), func(t *testing.T) {
+			cfg := parityCfg(shape)
+			gen, err := workload.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lf := snapshot.NewLockFree[int64](cfg.Components)
+			rw := snapshot.NewRWMutex[int64](cfg.Components)
+			model := spec.NewModel[int64](cfg.Components)
+			streams := make([][]workload.Op, cfg.Workers)
+			for w := range streams {
+				streams[w] = gen.Ops(w, 100)
+			}
+			for k := 0; k < 100; k++ {
+				for w := 0; w < cfg.Workers; w++ {
+					op := streams[w][k]
+					switch op.Kind {
+					case workload.OpUpdate:
+						if err := lf.Update(op.Comps, op.Vals); err != nil {
+							t.Fatalf("lockfree Update%v: %v", op.Comps, err)
+						}
+						if err := rw.Update(op.Comps, op.Vals); err != nil {
+							t.Fatalf("rwmutex Update%v: %v", op.Comps, err)
+						}
+						model.Apply(op.Comps, op.Vals)
+					case workload.OpScan:
+						a, err := lf.PartialScan(op.Comps)
+						if err != nil {
+							t.Fatalf("lockfree PartialScan%v: %v", op.Comps, err)
+						}
+						b, err := rw.PartialScan(op.Comps)
+						if err != nil {
+							t.Fatalf("rwmutex PartialScan%v: %v", op.Comps, err)
+						}
+						want := model.Read(op.Comps)
+						if !reflect.DeepEqual(a, want) || !reflect.DeepEqual(b, want) {
+							t.Fatalf("sequential scan diverged on %v: lockfree %v, rwmutex %v, model %v",
+								op.Comps, a, b, want)
+						}
+					}
+				}
+			}
+			fa, err := lf.Scan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := rw.Scan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fa, fb) {
+				t.Fatalf("final states diverged:\nlockfree %v\nrwmutex  %v", fa, fb)
+			}
+			if st := lf.Stats(); st.ScanRetries != 0 || st.HelpsPosted != 0 {
+				t.Fatalf("sequential workload triggered the concurrency machinery: %+v", st)
+			}
+		})
+	}
+}

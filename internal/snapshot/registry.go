@@ -1,6 +1,10 @@
 package snapshot
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"partialsnapshot/internal/sched"
+)
 
 // This file is the announcement registry of LockFree: where scanners
 // enroll the component sets they need helped and where updaters look for
@@ -56,6 +60,14 @@ type registry[V any] struct {
 	slots   []slot[V]
 	live    atomic.Int64  // records enrolled and not yet retired
 	deduped atomic.Uint64 // walk encounters skipped as already seen
+
+	// yield is the schedule-injection hook, nil outside instrumented
+	// tests. It fires at sched.PostEnroll after each per-slot enrollment
+	// and at sched.PreUnlink before each lazy-unlink CAS, so the
+	// half-enrolled windows and the unlink races (two walkers unlinking
+	// the same retired enrollment; an unlinker racing a fresh enroller)
+	// are scriptable rather than yield-point gaps.
+	yield func(p sched.Point, arg int)
 }
 
 func newRegistry[V any](n int) registry[V] {
@@ -64,9 +76,8 @@ func newRegistry[V any](n int) registry[V] {
 
 // enroll links rec into the slot of every component it names, in the
 // record's id order, opportunistically unlinking retired enrollments at
-// each slot head. yield, when non-nil, is called after each per-slot
-// enrollment (the sched.PostEnroll hook).
-func (r *registry[V]) enroll(rec *scanRecord[V], yield func(c int)) {
+// each slot head.
+func (r *registry[V]) enroll(rec *scanRecord[V]) {
 	r.live.Add(1)
 	for _, c := range rec.ids {
 		e := &enrollment[V]{rec: rec}
@@ -74,6 +85,9 @@ func (r *registry[V]) enroll(rec *scanRecord[V], yield func(c int)) {
 		for {
 			head := s.head.Load()
 			if head != nil && head.rec.done.Load() {
+				if r.yield != nil {
+					r.yield(sched.PreUnlink, c)
+				}
 				s.head.CompareAndSwap(head, head.next.Load())
 				continue
 			}
@@ -82,8 +96,8 @@ func (r *registry[V]) enroll(rec *scanRecord[V], yield func(c int)) {
 				break
 			}
 		}
-		if yield != nil {
-			yield(c)
+		if r.yield != nil {
+			r.yield(sched.PostEnroll, c)
 		}
 	}
 }
@@ -110,6 +124,9 @@ func (r *registry[V]) walkSlot(c int, visit func(*scanRecord[V])) {
 	for cur != nil {
 		next := cur.next.Load()
 		if cur.rec.done.Load() {
+			if r.yield != nil {
+				r.yield(sched.PreUnlink, c)
+			}
 			if prev != nil {
 				prev.next.CompareAndSwap(cur, next)
 			} else {

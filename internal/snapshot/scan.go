@@ -25,11 +25,7 @@ type scanRecord[V any] struct {
 
 // announce enrolls rec in the registry slot of each component it names.
 func (o *LockFree[V]) announce(rec *scanRecord[V]) {
-	var yield func(c int)
-	if o.sched != nil {
-		yield = func(c int) { o.sched.Yield(sched.PostEnroll, c) }
-	}
-	o.reg.enroll(rec, yield)
+	o.reg.enroll(rec)
 }
 
 // retire marks rec completed; its per-slot enrollments are unlinked lazily

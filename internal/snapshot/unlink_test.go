@@ -1,0 +1,122 @@
+package snapshot
+
+import (
+	"testing"
+
+	"partialsnapshot/internal/sched"
+)
+
+// These tests script the registry's lazy-unlink races through the
+// sched.PreUnlink yield point — the unlink path had no yield points before
+// it, so the "CASes can lose to each other or briefly resurrect a retired
+// enrollment; both are harmless" claim in registry.go was argued, not
+// replayed.
+
+// TestUnlinkRaceTwoWalkersSameEnrollment parks two updaters immediately
+// before their unlink CAS of the *same* retired enrollment, lets them fire
+// in order, and checks the loser's stale CAS neither corrupts the slot nor
+// double-counts: the slot ends empty, stats stay coherent, and both
+// updates complete.
+func TestUnlinkRaceTwoWalkersSameEnrollment(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewLockFree[int64](2).Instrument(ctl)
+
+	// One retired enrollment sits at the head of slot 0.
+	rec := &scanRecord[int64]{ids: []int{0}}
+	o.announce(rec)
+	o.retire(rec)
+	if n := o.slotLen(0); n != 1 {
+		t.Fatalf("slotLen(0) = %d after retire, want 1 (unlinking is lazy)", n)
+	}
+
+	spawnUpdate := func(name string, val int64) {
+		ctl.Spawn(name, func() {
+			if err := o.Update([]int{0}, []int64{val}); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		})
+	}
+	spawnUpdate("u1", 1)
+	spawnUpdate("u2", 2)
+
+	// Both walkers load the same head and park before their unlink CAS.
+	for _, name := range []string{"u1", "u2"} {
+		if arg, ok := ctl.StepUntil(name, sched.PreUnlink); !ok || arg != 0 {
+			t.Fatalf("%s parked at PreUnlink(%d) ok=%v, want arg 0", name, arg, ok)
+		}
+	}
+	// u1 wins the unlink; u2's CAS fires against a head that already moved
+	// and must lose without damage.
+	ctl.RunToCompletion("u1")
+	ctl.RunToCompletion("u2")
+
+	if n := o.slotLen(0); n != 0 {
+		t.Fatalf("slotLen(0) = %d after racing unlinks, want 0", n)
+	}
+	st := o.Stats()
+	if st.LiveAnnouncements != 0 {
+		t.Fatalf("LiveAnnouncements = %d, want 0", st.LiveAnnouncements)
+	}
+	if st.RecordsVisited != 0 || st.HelpsPosted != 0 {
+		t.Fatalf("retired record was visited or helped: %+v", st)
+	}
+	// Both stores landed despite the lost CAS.
+	got, err := o.PartialScan([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 && got[0] != 2 {
+		t.Fatalf("component 0 = %d, want one of the racing updates' values", got[0])
+	}
+}
+
+// TestUnlinkRaceAgainstEnroller parks a scanner's enrollment mid-cleanup
+// (it found a retired enrollment at the slot head and is about to unlink
+// it) while an updater walks the same slot and unlinks that enrollment
+// first. The enroller's stale CAS must fail cleanly and its own record
+// must still end up enrolled and discoverable by the next walk.
+func TestUnlinkRaceAgainstEnroller(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewLockFree[int64](2).Instrument(ctl)
+
+	old := &scanRecord[int64]{ids: []int{0}}
+	o.announce(old)
+	o.retire(old)
+
+	fresh := &scanRecord[int64]{ids: []int{0}}
+	ctl.Spawn("enroller", func() { o.announce(fresh) })
+	if arg, ok := ctl.StepUntil("enroller", sched.PreUnlink); !ok || arg != 0 {
+		t.Fatalf("enroller parked at PreUnlink(%d) ok=%v, want arg 0", arg, ok)
+	}
+
+	// The updater's walk unlinks the retired enrollment out from under the
+	// parked enroller (uncontrolled goroutine: runs straight through).
+	if err := o.Update([]int{0}, []int64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if n := o.slotLen(0); n != 0 {
+		t.Fatalf("slotLen(0) = %d after the walk, want 0", n)
+	}
+
+	// The enroller's cleanup CAS fails against the moved head; it must
+	// retry, observe the empty slot, and link its record.
+	ctl.RunToCompletion("enroller")
+	if n := o.slotLen(0); n != 1 {
+		t.Fatalf("slotLen(0) = %d after enroll, want the fresh record linked", n)
+	}
+	if live := o.Stats().LiveAnnouncements; live != 1 {
+		t.Fatalf("LiveAnnouncements = %d, want 1", live)
+	}
+
+	// The fresh record is discoverable: an intersecting update helps it.
+	if err := o.Update([]int{0}, []int64{8}); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.help.Load() == nil {
+		t.Fatal("fresh record enrolled through the raced slot was never helped")
+	}
+	o.retire(fresh)
+	if live := o.Stats().LiveAnnouncements; live != 0 {
+		t.Fatalf("LiveAnnouncements = %d after retire, want 0", live)
+	}
+}

@@ -45,6 +45,81 @@ func TestValidateIDsBitmaskPath(t *testing.T) {
 	}
 }
 
+// TestValidateIDsHeapFallbackBoundary walks the seam between the
+// stack-bitmask fast path and the heap map fallback: n equal to
+// maxBitmaskComponents (inclusive — the highest id, 4095, must land in the
+// bitmask's last word) and n just above it (every wide set now takes the
+// map path), exercising accept, duplicate, out-of-range and negative ids
+// on both sides of the boundary.
+func TestValidateIDsHeapFallbackBoundary(t *testing.T) {
+	wideSet := func(n int) []int {
+		// 40 ids (> 32, so never the quadratic path) spread to the top of
+		// the range, ending exactly at n-1.
+		ids := make([]int, 40)
+		for i := range ids {
+			ids[i] = (n - 1) - i*(n/41)
+		}
+		return ids
+	}
+	for _, n := range []int{maxBitmaskComponents, maxBitmaskComponents + 1, maxBitmaskComponents * 3} {
+		ids := wideSet(n)
+		if err := validateIDs(n, ids); err != nil {
+			t.Fatalf("n=%d: valid wide set rejected: %v", n, err)
+		}
+		dup := append([]int(nil), ids...)
+		dup[len(dup)-1] = dup[0] // duplicate of the top id, n-1
+		if err := validateIDs(n, dup); !errors.Is(err, ErrBadComponent) {
+			t.Fatalf("n=%d: duplicate of id %d: error = %v, want ErrBadComponent", n, dup[0], err)
+		}
+		over := append([]int(nil), ids...)
+		over[len(over)-1] = n
+		if err := validateIDs(n, over); !errors.Is(err, ErrBadComponent) {
+			t.Fatalf("n=%d: out-of-range id %d: error = %v, want ErrBadComponent", n, n, err)
+		}
+		neg := append([]int(nil), ids...)
+		neg[len(neg)-1] = -1
+		if err := validateIDs(n, neg); !errors.Is(err, ErrBadComponent) {
+			t.Fatalf("n=%d: negative id: error = %v, want ErrBadComponent", n, err)
+		}
+	}
+}
+
+// TestValidateIDsHeapFallbackThroughPublicAPI drives the map fallback the
+// way a real caller hits it: a full Scan of an object wider than the
+// bitmask bound validates all n ids through the fallback, and wide invalid
+// sets surface the typed error from both operations.
+func TestValidateIDsHeapFallbackThroughPublicAPI(t *testing.T) {
+	const n = maxBitmaskComponents + 8
+	o := NewLockFree[int64](n)
+	vals, err := o.Scan()
+	if err != nil {
+		t.Fatalf("full scan of a %d-component object: %v", n, err)
+	}
+	if len(vals) != n {
+		t.Fatalf("full scan returned %d values, want %d", len(vals), n)
+	}
+	ids := make([]int, 40)
+	wvals := make([]int64, 40)
+	for i := range ids {
+		ids[i] = i * 100
+		wvals[i] = int64(i + 1)
+	}
+	if err := o.Update(ids, wvals); err != nil {
+		t.Fatalf("wide update on a >bitmask object: %v", err)
+	}
+	ids[39] = ids[0]
+	if err := o.Update(ids, wvals); !errors.Is(err, ErrBadComponent) {
+		t.Fatalf("duplicate wide update: error = %v, want ErrBadComponent", err)
+	}
+	if _, err := o.PartialScan(ids); !errors.Is(err, ErrBadComponent) {
+		t.Fatalf("duplicate wide scan: error = %v, want ErrBadComponent", err)
+	}
+	ids[39] = n
+	if _, err := o.PartialScan(ids); !errors.Is(err, ErrBadComponent) {
+		t.Fatalf("out-of-range wide scan: error = %v, want ErrBadComponent", err)
+	}
+}
+
 // TestValidateIDsAllocationFree pins the perf fix: validating a wide set on
 // an object within the bitmask bound must not allocate (the old code built
 // a map per call for every set wider than 32).

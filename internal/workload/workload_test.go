@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func baseConfig(shape Shape) Config {
+	return Config{Shape: shape, Components: 16, Workers: 4, ScanFrac: -1, Seed: 1}
+}
+
+// TestStreamsAreDeterministic: equal configs produce byte-identical
+// per-worker streams — the property that lets exploration failures replay
+// from (shape, seed) and the parity suite drive two implementations with
+// the same traffic.
+func TestStreamsAreDeterministic(t *testing.T) {
+	for _, shape := range Shapes() {
+		t.Run(string(shape), func(t *testing.T) {
+			a, err := New(baseConfig(shape))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(baseConfig(shape))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w < 4; w++ {
+				if x, y := a.Ops(w, 50), b.Ops(w, 50); !reflect.DeepEqual(x, y) {
+					t.Fatalf("worker %d: same config, different streams", w)
+				}
+			}
+			// Distinct workers draw from distinct rng streams.
+			if x, y := a.Ops(0, 50), a.Ops(1, 50); reflect.DeepEqual(x, y) {
+				t.Fatal("workers 0 and 1 produced identical streams")
+			}
+		})
+	}
+}
+
+// TestOpsAreWellFormed: every generated op respects the shape's pool and
+// widths, names no duplicate components, and never writes the reserved
+// zero value — across all shapes.
+func TestOpsAreWellFormed(t *testing.T) {
+	for _, shape := range Shapes() {
+		t.Run(string(shape), func(t *testing.T) {
+			g, err := New(baseConfig(shape))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := g.Config()
+			scans, updates := 0, 0
+			for w := 0; w < cfg.Workers; w++ {
+				for _, op := range g.Ops(w, 200) {
+					want := cfg.UpdateWidth
+					if op.Kind == OpScan {
+						want = cfg.ScanWidth
+						scans++
+					} else {
+						updates++
+						if len(op.Vals) != len(op.Comps) {
+							t.Fatalf("update has %d values for %d components", len(op.Vals), len(op.Comps))
+						}
+						for _, v := range op.Vals {
+							if v == 0 {
+								t.Fatal("generated the reserved zero value")
+							}
+						}
+					}
+					if len(op.Comps) != want {
+						t.Fatalf("%v op width %d, want %d", op.Kind, len(op.Comps), want)
+					}
+					seen := map[int]bool{}
+					for _, c := range op.Comps {
+						if c < 0 || c >= cfg.Components {
+							t.Fatalf("component %d out of range [0,%d)", c, cfg.Components)
+						}
+						if seen[c] {
+							t.Fatalf("duplicate component %d in %v", c, op.Comps)
+						}
+						seen[c] = true
+					}
+				}
+			}
+			if scans == 0 || updates == 0 {
+				t.Fatalf("shape %s generated %d scans / %d updates, want a mix", shape, scans, updates)
+			}
+		})
+	}
+}
+
+// TestPartitionedStreamsAreDisjoint: worker w's ops stay inside its own
+// component range — the structural property the locality tests and the
+// partitioned benchmark cells rely on.
+func TestPartitionedStreamsAreDisjoint(t *testing.T) {
+	g, err := New(Config{Shape: Partitioned, Components: 16, Workers: 4, ScanFrac: -1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		lo, hi := w*4, (w+1)*4
+		for _, op := range g.Ops(w, 100) {
+			for _, c := range op.Comps {
+				if c < lo || c >= hi {
+					t.Fatalf("worker %d touched component %d outside its partition [%d,%d)", w, c, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfianIsSkewed: the hottest component must absorb a far larger
+// share of draws than the uniform rate, and the full pool must still be
+// reachable.
+func TestZipfianIsSkewed(t *testing.T) {
+	g, err := New(Config{Shape: Zipfian, Components: 16, Workers: 1, ScanWidth: 1, UpdateWidth: 1, ScanFrac: -1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 16)
+	total := 4000
+	s := g.Stream(0)
+	for i := 0; i < total; i++ {
+		counts[s.Next().Comps[0]]++
+	}
+	if frac := float64(counts[0]) / float64(total); frac < 0.25 {
+		t.Fatalf("component 0 drew %.0f%% of zipfian traffic, want a hot head (>= 25%%; uniform would be ~6%%)", frac*100)
+	}
+	touched := 0
+	for _, n := range counts {
+		if n > 0 {
+			touched++
+		}
+	}
+	if touched < 8 {
+		t.Fatalf("zipfian tail too thin: only %d/16 components ever drawn", touched)
+	}
+}
+
+// TestShapeDefaultsAndOverrides: unset knobs resolve per shape, explicit
+// knobs win.
+func TestShapeDefaultsAndOverrides(t *testing.T) {
+	g, err := New(Config{Shape: ScanHeavy, Components: 16, Workers: 2, ScanFrac: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := g.Config(); cfg.ScanFrac != 0.9 || cfg.ScanWidth != 8 || cfg.UpdateWidth != 1 {
+		t.Fatalf("scan-heavy defaults = %+v", cfg)
+	}
+	g, err = New(Config{Shape: BatchHeavy, Components: 16, Workers: 2, ScanFrac: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := g.Config(); cfg.ScanFrac != 0.15 || cfg.UpdateWidth != 8 {
+		t.Fatalf("batch-heavy defaults = %+v", cfg)
+	}
+	g, err = New(Config{Shape: BatchHeavy, Components: 16, Workers: 2, UpdateWidth: 3, ScanFrac: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := g.Config(); cfg.ScanFrac != 0.5 || cfg.UpdateWidth != 3 {
+		t.Fatalf("explicit knobs lost: %+v", cfg)
+	}
+}
+
+// TestValidateRejects: the invalid configs the benchmark CLI and tests
+// must not silently accept.
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Shape: "nonesuch", Components: 8, Workers: 1, ScanFrac: -1},
+		{Shape: Uniform, Components: 0, Workers: 1, ScanFrac: -1},
+		{Shape: Uniform, Components: 8, Workers: 0, ScanFrac: -1},
+		{Shape: Uniform, Components: 8, Workers: 1, ScanFrac: 1.5},
+		{Shape: Uniform, Components: 8, Workers: 1, ScanWidth: 9, ScanFrac: -1},
+		{Shape: Uniform, Components: 8, Workers: 1, UpdateWidth: -1, ScanFrac: -1},
+		// Partitioned: 4 workers over 8 components leaves pools of 2, too
+		// narrow for a scan width of 4.
+		{Shape: Partitioned, Components: 8, Workers: 4, ScanWidth: 4, ScanFrac: -1},
+		{Shape: Partitioned, Components: 3, Workers: 4, ScanFrac: -1},
+	}
+	for i, cfg := range bad {
+		cfg.Seed = 1
+		if _, err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestValueEncoding: values are nonzero and distinct across (worker, seq).
+func TestValueEncoding(t *testing.T) {
+	seen := map[int64]bool{}
+	for w := 0; w < 8; w++ {
+		for s := 0; s < 1000; s++ {
+			v := Value(w, s)
+			if v == 0 {
+				t.Fatalf("Value(%d,%d) = 0, reserved for the initial component value", w, s)
+			}
+			if seen[v] {
+				t.Fatalf("Value(%d,%d) = %d collides", w, s, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestNextReusesBuffers: the hot path the benchmark loop sits on must not
+// allocate per operation.
+func TestNextReusesBuffers(t *testing.T) {
+	for _, shape := range []Shape{Uniform, Zipfian, Partitioned} {
+		g, err := New(baseConfig(shape))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.Stream(0)
+		allocs := testing.AllocsPerRun(200, func() { s.Next() })
+		if allocs != 0 {
+			t.Fatalf("%s Stream.Next allocates %v per op, want 0", shape, allocs)
+		}
+	}
+}
