@@ -1,0 +1,187 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"partialsnapshot/internal/bench"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func cell(impl string, g int, w int, ops float64, allocs *float64) bench.Result {
+	r := bench.Result{
+		Config: bench.Config{
+			Impl: impl, Scenario: "mixed", Goroutines: g,
+			Components: 64, ScanWidth: w, UpdateWidth: 2, ScanFrac: 0.5, Seed: 1,
+		},
+		OpsPerSec:   ops,
+		AllocsPerOp: allocs,
+	}
+	if allocs != nil {
+		r.BytesPerOp = fp(*allocs * 48)
+	}
+	return r
+}
+
+func file(results ...bench.Result) *benchFile { return &benchFile{Results: results} }
+
+func TestDiffPassesWithinThresholds(t *testing.T) {
+	old := file(cell("lockfree", 1, 8, 1000, fp(1)), cell("rwmutex", 1, 8, 2000, fp(0.5)))
+	cur := file(cell("lockfree", 1, 8, 900, fp(1.01)), cell("rwmutex", 1, 8, 1900, fp(0.5)))
+	rep := diff(old, cur, options{opsDrop: 0.20, allocSlack: 0.05})
+	if rep.failures != 0 {
+		t.Fatalf("failures = %d, want 0: %+v", rep.failures, rep.cells)
+	}
+	if len(rep.cells) != 2 || len(rep.missingInNew) != 0 || len(rep.extraInNew) != 0 {
+		t.Fatalf("unexpected matching: %+v", rep)
+	}
+}
+
+func TestDiffFailsOnThroughputDrop(t *testing.T) {
+	old := file(cell("lockfree", 1, 8, 1000, fp(1)))
+	cur := file(cell("lockfree", 1, 8, 700, fp(1)))
+	rep := diff(old, cur, options{opsDrop: 0.20, allocSlack: 0.05})
+	if rep.failures != 1 {
+		t.Fatalf("failures = %d, want 1", rep.failures)
+	}
+	if fs := rep.cells[0].failures; len(fs) != 1 || !strings.Contains(fs[0], "ops/sec dropped") {
+		t.Fatalf("cell failures = %v, want one ops/sec drop", fs)
+	}
+}
+
+func TestDiffFailsOnAllocIncreaseSingleGoroutineOnly(t *testing.T) {
+	old := file(cell("lockfree", 1, 8, 1000, fp(1)), cell("lockfree", 4, 8, 4000, fp(1)))
+	cur := file(cell("lockfree", 1, 8, 1000, fp(2)), cell("lockfree", 4, 8, 4000, fp(2)))
+	rep := diff(old, cur, options{opsDrop: 0.20, allocSlack: 0.05})
+	if rep.failures != 1 {
+		t.Fatalf("failures = %d, want exactly the single-goroutine cell to fail", rep.failures)
+	}
+	var failedKeys []cellKey
+	for _, d := range rep.cells {
+		if len(d.failures) > 0 {
+			failedKeys = append(failedKeys, d.key)
+		}
+	}
+	if len(failedKeys) != 1 || failedKeys[0].Goroutines != 1 {
+		t.Fatalf("failed cells = %v, want only g=1", failedKeys)
+	}
+}
+
+func TestDiffSkipsAllocCheckWhenBaselineUnrecorded(t *testing.T) {
+	// A baseline written before allocation accounting existed has nil
+	// AllocsPerOp; the gate must not invent a zero baseline.
+	old := file(cell("lockfree", 1, 8, 1000, nil))
+	cur := file(cell("lockfree", 1, 8, 1000, fp(3)))
+	rep := diff(old, cur, options{opsDrop: 0.20, allocSlack: 0.05})
+	if rep.failures != 0 {
+		t.Fatalf("failures = %d, want 0 when the baseline has no alloc data", rep.failures)
+	}
+}
+
+func TestDiffCalibrationCancelsUniformSlowdown(t *testing.T) {
+	// The whole new file runs at ~half speed (slower machine), one cell
+	// regressed an extra 40% on top. Uncalibrated, everything fails;
+	// calibrated, only the true regression does.
+	old := file(
+		cell("lockfree", 1, 1, 1000, fp(1)),
+		cell("lockfree", 1, 8, 1000, fp(1)),
+		cell("rwmutex", 1, 1, 2000, fp(0.5)),
+		cell("rwmutex", 1, 8, 2000, fp(0.5)),
+		cell("lockfree", 4, 8, 4000, fp(1)),
+	)
+	cur := file(
+		cell("lockfree", 1, 1, 500, fp(1)),
+		cell("lockfree", 1, 8, 300, fp(1)), // 0.6x the field: the real regression
+		cell("rwmutex", 1, 1, 1000, fp(0.5)),
+		cell("rwmutex", 1, 8, 1000, fp(0.5)),
+		cell("lockfree", 4, 8, 2000, fp(1)),
+	)
+	uncal := diff(old, cur, options{opsDrop: 0.20, allocSlack: 0.05})
+	if uncal.failures != 5 {
+		t.Fatalf("uncalibrated failures = %d, want all 5 cells", uncal.failures)
+	}
+	cal := diff(old, cur, options{opsDrop: 0.20, allocSlack: 0.05, calibrate: true})
+	if cal.speedFactor != 0.5 {
+		t.Fatalf("speedFactor = %v, want the median 0.5", cal.speedFactor)
+	}
+	if cal.failures != 1 {
+		t.Fatalf("calibrated failures = %d, want only the true regression", cal.failures)
+	}
+	for _, d := range cal.cells {
+		if len(d.failures) > 0 && d.key.ScanWidth != 8 {
+			t.Fatalf("wrong cell convicted: %+v", d.key)
+		}
+	}
+}
+
+func TestDiffOpsMaxGoroutinesLimitsThroughputGate(t *testing.T) {
+	// Both cells drop 40%; with the gate restricted to g<=4, only the
+	// single-goroutine cell fails, and the g=8 drop is report-only.
+	old := file(cell("lockfree", 1, 8, 1000, fp(1)), cell("lockfree", 8, 8, 8000, fp(1)))
+	cur := file(cell("lockfree", 1, 8, 600, fp(1)), cell("lockfree", 8, 8, 4800, fp(1)))
+	rep := diff(old, cur, options{opsDrop: 0.20, allocSlack: 0.05, opsMaxGoroutines: 4})
+	if rep.failures != 1 {
+		t.Fatalf("failures = %d, want only the g=1 throughput drop", rep.failures)
+	}
+	for _, d := range rep.cells {
+		if len(d.failures) > 0 && d.key.Goroutines != 1 {
+			t.Fatalf("gated cell = %+v, want only g=1", d.key)
+		}
+	}
+	full := diff(old, cur, options{opsDrop: 0.20, allocSlack: 0.05})
+	if full.failures != 2 {
+		t.Fatalf("unrestricted failures = %d, want both cells' throughput drops", full.failures)
+	}
+}
+
+func TestDiffMissingBaselineCell(t *testing.T) {
+	old := file(cell("lockfree", 1, 8, 1000, fp(1)), cell("rwmutex", 1, 8, 2000, fp(0.5)))
+	cur := file(cell("lockfree", 1, 8, 1000, fp(1)), cell("lockfree", 8, 8, 8000, fp(1)))
+	rep := diff(old, cur, options{opsDrop: 0.20, allocSlack: 0.05})
+	if rep.failures != 1 || len(rep.missingInNew) != 1 {
+		t.Fatalf("failures=%d missing=%v, want the absent rwmutex cell to fail the gate", rep.failures, rep.missingInNew)
+	}
+	if len(rep.extraInNew) != 1 || rep.extraInNew[0].Goroutines != 8 {
+		t.Fatalf("extraInNew = %v, want the unmatched g=8 cell", rep.extraInNew)
+	}
+	relaxed := diff(old, cur, options{opsDrop: 0.20, allocSlack: 0.05, allowMissing: true})
+	if relaxed.failures != 0 {
+		t.Fatalf("allow-missing failures = %d, want 0", relaxed.failures)
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	old := file(cell("lockfree", 1, 8, 1000, fp(1)))
+	cur := file(cell("lockfree", 1, 8, 700, fp(2)))
+	opt := options{opsDrop: 0.20, allocSlack: 0.05}
+	rep := diff(old, cur, opt)
+	md := rep.markdown("BENCH_seed.json", "BENCH_new.json", opt)
+	for _, want := range []string{
+		"**FAIL** — 2 violation(s).",
+		"lockfree/mixed g=1 n=64 scanW=8 updW=2",
+		"ops/sec dropped 30.0%",
+		"allocs/op rose 1.000 → 2.000",
+		"| 1000 | 700 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown report lacks %q:\n%s", want, md)
+		}
+	}
+	pass := diff(old, old, opt)
+	if md := pass.markdown("a", "a", opt); !strings.Contains(md, "**PASS**") {
+		t.Errorf("self-diff report not a PASS:\n%s", md)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median(nil); got != 1 {
+		t.Errorf("median(nil) = %v, want 1", got)
+	}
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+}

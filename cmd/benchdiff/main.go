@@ -1,0 +1,105 @@
+// Command benchdiff compares two BENCH_*.json files (written by
+// cmd/snapbench) cell by cell and exits nonzero when the new file
+// regresses beyond configurable thresholds — the tool behind the CI
+// perf-regression gate.
+//
+// Cells are matched on their workload dimensions (impl, scenario,
+// goroutines, components, widths, scan fraction, seed); run duration is
+// not part of the identity. Two checks gate each matched cell:
+//
+//   - Throughput: the cell fails when its ops/sec drops by more than
+//     -ops-drop (default 20%). With -calibrate, every cell's ratio is
+//     first divided by the median ratio across all cells, so a uniformly
+//     slower (or faster) machine cancels out and only cells that moved
+//     against the field fail — the mode CI uses, since committed baselines
+//     and runners are different hardware. -ops-max-goroutines N restricts
+//     this check to cells with at most N goroutines: cells oversubscribing
+//     a small runner's cores carry jitter calibration cannot remove, so CI
+//     reports them without gating on them.
+//   - Allocations: single-goroutine cells fail when allocs/op rises by
+//     more than -alloc-slack (default 0.05) — effectively "any new
+//     allocation on a hot path", since real regressions add at least 1.
+//     Allocation numbers are machine-independent and never calibrated.
+//
+// Baseline cells missing from the new file fail the gate unless
+// -allow-missing is given. The full comparison is rendered as a markdown
+// report (-md), which CI uploads as an artifact.
+//
+// Examples:
+//
+//	benchdiff -old BENCH_seed.json -new BENCH_fresh.json
+//	benchdiff -old BENCH_partitioned.json -new BENCH_ci.json \
+//	          -calibrate -ops-drop 0.20 -alloc-slack 0.05 -md report.md
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_*.json (required)")
+	newPath := flag.String("new", "", "candidate BENCH_*.json (required)")
+	opsDrop := flag.Float64("ops-drop", 0.20, "max tolerated fractional ops/sec drop per cell")
+	allocSlack := flag.Float64("alloc-slack", 0.05, "max tolerated allocs/op increase in single-goroutine cells")
+	calibrate := flag.Bool("calibrate", false, "divide throughput ratios by their median before gating (cross-machine mode)")
+	opsMaxG := flag.Int("ops-max-goroutines", 0, "gate throughput only on cells with at most this many goroutines (0 = all; oversubscribed cells are too jittery to gate on small runners)")
+	allowMissing := flag.Bool("allow-missing", false, "do not fail when a baseline cell is absent from the new file")
+	mdPath := flag.String("md", "", "also write the markdown report to this path")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldF, err := readBenchFile(*oldPath)
+	if err != nil {
+		fail(err)
+	}
+	newF, err := readBenchFile(*newPath)
+	if err != nil {
+		fail(err)
+	}
+	opt := options{
+		opsDrop:          *opsDrop,
+		allocSlack:       *allocSlack,
+		calibrate:        *calibrate,
+		opsMaxGoroutines: *opsMaxG,
+		allowMissing:     *allowMissing,
+	}
+	rep := diff(oldF, newF, opt)
+	md := rep.markdown(*oldPath, *newPath, opt)
+	fmt.Print(md)
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if rep.failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d violation(s)\n", rep.failures)
+		os.Exit(1)
+	}
+}
+
+func readBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if len(f.Results) == 0 {
+		return nil, fmt.Errorf("benchdiff: %s holds no benchmark cells", path)
+	}
+	return &f, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

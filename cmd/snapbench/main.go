@@ -130,13 +130,18 @@ func run(scenario string, impls []string, goroutines, components, scanWidths []i
 					}
 					contention := ""
 					if res.Stats != nil {
-						contention = fmt.Sprintf("  retries=%d visited=%d helps=%d",
-							res.Stats.ScanRetries, res.Stats.RecordsVisited, res.Stats.HelpsPosted)
+						contention = fmt.Sprintf("  retries=%d visited=%d helps=%d reuses=%d",
+							res.Stats.ScanRetries, res.Stats.RecordsVisited, res.Stats.HelpsPosted,
+							res.Stats.RecordReuses)
+					}
+					allocs := ""
+					if res.AllocsPerOp != nil {
+						allocs = fmt.Sprintf("  %6.3f allocs/op %7.1f B/op", *res.AllocsPerOp, *res.BytesPerOp)
 					}
 					// res carries the resolved config (shape defaults filled
 					// in), so report that width, not the raw flag value.
-					fmt.Fprintf(os.Stderr, "%-9s %-11s n=%-4d width=%-3d g=%-3d %12.0f ops/sec%s\n",
-						cfg.Impl, scenario, n, res.ScanWidth, g, res.OpsPerSec, contention)
+					fmt.Fprintf(os.Stderr, "%-9s %-11s n=%-4d width=%-3d g=%-3d %12.0f ops/sec%s%s\n",
+						cfg.Impl, scenario, n, res.ScanWidth, g, res.OpsPerSec, allocs, contention)
 					rep.Results = append(rep.Results, res)
 				}
 			}

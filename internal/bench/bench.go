@@ -15,6 +15,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,6 +99,16 @@ type Result struct {
 	ScanOps    uint64  `json:"scan_ops"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	// AllocsPerOp and BytesPerOp are the heap allocation count and byte
+	// volume per completed operation, measured over the whole cell via
+	// runtime.MemStats deltas. The measurement amortises the harness's own
+	// fixed costs (worker goroutine spawns, the duration timer) over every
+	// operation of the run, so single-goroutine cells read within a few
+	// thousandths of the implementation's true steady-state cost; it is
+	// cell-wide, not per-goroutine. Pointers so that BENCH files predating
+	// the field decode as "not recorded" rather than as zero.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	// Stats is the implementation's final progress counters, for
 	// implementations that expose them (the lock-free object; nil
 	// otherwise). In partitioned cells, ScanRetries and RecordsVisited
@@ -188,6 +199,14 @@ func runWithObject(obj snapshot.Object[int64], gen *workload.Generator, cfg Conf
 	stopCh := make(chan struct{})
 	halt := func() { stopOnce.Do(func() { stop.Store(true); close(stopCh) }) }
 
+	// Allocation accounting brackets the run: a GC first, so the pools and
+	// the allocator start the cell cold and comparable, then MemStats
+	// deltas divided by completed ops. Mallocs is monotonic, so mid-run GCs
+	// only show up as the genuine pool-refill cost they cause.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
 	start := time.Now()
 	for g := 0; g < cfg.Goroutines; g++ {
 		wg.Add(1)
@@ -230,6 +249,7 @@ func runWithObject(obj snapshot.Object[int64], gen *workload.Generator, cfg Conf
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
 
 	res := Result{
 		Config:     cfg,
@@ -238,6 +258,11 @@ func runWithObject(obj snapshot.Object[int64], gen *workload.Generator, cfg Conf
 		ElapsedSec: elapsed.Seconds(),
 	}
 	res.OpsPerSec = float64(res.UpdateOps+res.ScanOps) / res.ElapsedSec
+	if ops := res.UpdateOps + res.ScanOps; ops > 0 {
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+		bytes := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops)
+		res.AllocsPerOp, res.BytesPerOp = &allocs, &bytes
+	}
 	if ep := firstErr.Load(); ep != nil {
 		return res, fmt.Errorf("bench: worker failed: %w", *ep)
 	}

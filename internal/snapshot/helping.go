@@ -15,6 +15,15 @@ type helpView[V any] struct {
 	depth int    // chain level of the clean double collect behind the view
 }
 
+// seenRecord is one entry of an updater walk's dedup list. The generation
+// rides along because records recycle: the same pointer re-announced under
+// a new generation inside one multi-slot walk is a fresh obligation to
+// help, not a repeat encounter.
+type seenRecord[V any] struct {
+	rec *scanRecord[V]
+	gen uint64
+}
+
 // helpIntersectingScans walks the registry slot of every component the
 // update is about to write and, for each live record found, completes an
 // embedded scan of that record's set and posts the view. Records enrolled
@@ -24,17 +33,17 @@ type helpView[V any] struct {
 // unlike the earlier global announcement stack, which every update walked
 // end to end.
 func (o *LockFree[V]) helpIntersectingScans(ids []int, op uint64) {
-	var seen []*scanRecord[V] // allocated only if a live record is found
+	var seen []seenRecord[V] // allocated only if a live record is found
 	for _, id := range ids {
 		o.yield(sched.PreSlotWalk, id)
-		o.reg.walkSlot(id, func(rec *scanRecord[V]) {
+		o.reg.walkSlot(id, func(rec *scanRecord[V], gen uint64) {
 			for _, s := range seen {
-				if s == rec {
+				if s.rec == rec && s.gen == gen {
 					o.reg.deduped.Add(1)
 					return
 				}
 			}
-			seen = append(seen, rec)
+			seen = append(seen, seenRecord[V]{rec: rec, gen: gen})
 			if rec.help.Load() != nil {
 				return
 			}
@@ -77,8 +86,9 @@ func (o *LockFree[V]) helpIntersectingScans(ids []int, op uint64) {
 // number of failed collects, which the model-checking tests use to prove
 // the searcher catches the resulting protocol violation.
 func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, depth int, ok bool) {
-	a := make([]*cell[V], len(target.ids))
-	b := make([]*cell[V], len(target.ids))
+	bufs := o.getBufs(len(target.ids))
+	defer o.putBufs(bufs)
+	a, b := bufs.a, bufs.b
 	level := target.level + 1
 	failures := 0
 	// Fast path: try one unannounced double collect first.
@@ -93,7 +103,7 @@ func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, 
 	if o.helpBound > 0 && failures >= o.helpBound {
 		return nil, 0, false // injected mutation: abandon the scanner
 	}
-	rec := &scanRecord[V]{ids: target.ids, level: level}
+	rec := o.acquireRecord(target.ids, level)
 	o.announce(rec)
 	defer o.retire(rec)
 	o.yield(sched.PostAnnounce, level)

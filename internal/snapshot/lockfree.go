@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"partialsnapshot/internal/sched"
@@ -24,6 +25,12 @@ type LockFree[V any] struct {
 	all   []int                  // cached [0..n) for Scan
 	sched sched.Scheduler        // nil outside schedule-injection tests
 
+	// bufs and records recycle the hot paths' working state (collect
+	// buffers, scan records) so steady-state operations stay allocation-
+	// free; see pool.go for the reuse protocol.
+	bufs    sync.Pool
+	records recordPool[V]
+
 	// helpBound, when positive, re-introduces the pre-wait-free bug on
 	// purpose: an embedded scan gives up without posting help once it has
 	// failed helpBound double collects. It exists ONLY as a mutation seam
@@ -32,10 +39,18 @@ type LockFree[V any] struct {
 	// always leave it 0 (unbounded helping, the paper's protocol).
 	helpBound int
 
+	// unsafeEagerRelease, when true, makes retire return scan records to
+	// the pool immediately, ignoring helper pins — the premature-reuse bug
+	// the refcount protocol prevents. It exists ONLY as a mutation seam for
+	// the tests that prove the linearizability checker convicts early
+	// reuse; production objects always leave it false.
+	unsafeEagerRelease bool
+
 	scanRetries  atomic.Uint64
 	helpsPosted  atomic.Uint64
 	helpsAdopted atomic.Uint64
 	maxDepth     atomic.Int64
+	recReuses    atomic.Uint64
 }
 
 // NewLockFree returns a wait-free partial snapshot object with n components,
@@ -45,10 +60,12 @@ func NewLockFree[V any](n int) *LockFree[V] {
 		panic("snapshot: number of components must be positive")
 	}
 	o := &LockFree[V]{
-		cells: make([]atomic.Pointer[cell[V]], n),
-		reg:   newRegistry[V](n),
-		all:   allIDs(n),
+		cells:   make([]atomic.Pointer[cell[V]], n),
+		reg:     newRegistry[V](n),
+		all:     allIDs(n),
+		records: &sharedRecordPool[V]{},
 	}
+	o.reg.release = o.releaseRef
 	initial := &cell[V]{}
 	for i := range o.cells {
 		o.cells[i].Store(initial)
@@ -57,11 +74,15 @@ func NewLockFree[V any](n int) *LockFree[V] {
 }
 
 // Instrument installs a schedule-injection scheduler (see internal/sched)
-// and returns o for chaining. Call before the object is shared; it is not
-// safe to race with operations.
+// and returns o for chaining. It also swaps the record pool for a
+// deterministic LIFO freelist, so pool hits — and the PreReuse yield
+// points they trigger — are a pure function of the explored schedule
+// rather than of sync.Pool's per-P caches. Call before the object is
+// shared; it is not safe to race with operations.
 func (o *LockFree[V]) Instrument(s sched.Scheduler) *LockFree[V] {
 	o.sched = s
 	o.reg.yield = o.yield
+	o.records = &scriptedRecordPool[V]{}
 	return o
 }
 
@@ -93,9 +114,17 @@ func (o *LockFree[V]) UpdateOp(ids []int, vals []V) (uint64, error) {
 	}
 	op := o.nextOp(ids)
 	o.helpIntersectingScans(ids, op)
+	// One backing array for the whole batch: a multi-component update costs
+	// one allocation, not one per component. Pointer identity still
+	// distinguishes writes for the double collect — every batch is fresh
+	// heap memory, and cells are never pooled, because a collect that
+	// already loaded a cell pointer may dereference it arbitrarily later
+	// (the GC, not a generation tag, is what rules out cell ABA).
+	batch := make([]cell[V], len(ids))
 	for i, id := range ids {
+		batch[i] = cell[V]{val: vals[i], op: op}
 		o.yield(sched.PreCellStore, id)
-		o.cells[id].Store(&cell[V]{val: vals[i], op: op})
+		o.cells[id].Store(&batch[i])
 	}
 	return op, nil
 }
@@ -132,6 +161,11 @@ type Stats struct {
 	// already been seen via an earlier slot of the same walk
 	// (multi-enrollment dedup).
 	RecordsDeduped uint64 `json:"records_deduped"`
+	// RecordReuses counts scan-record announcements served from the record
+	// pool rather than by a fresh allocation. In steady state this tracks
+	// the slow-path announcement rate; the reuse tests use it to prove
+	// pooling is actually exercised.
+	RecordReuses uint64 `json:"record_reuses"`
 }
 
 func (o *LockFree[V]) Stats() Stats {
@@ -142,6 +176,7 @@ func (o *LockFree[V]) Stats() Stats {
 		LiveAnnouncements: o.reg.live.Load(),
 		MaxHelpDepth:      o.maxDepth.Load(),
 		RecordsDeduped:    o.reg.deduped.Load(),
+		RecordReuses:      o.recReuses.Load(),
 	}
 	for c := range o.reg.slots {
 		st.RegistryWalks += o.reg.slots[c].walks.Load()

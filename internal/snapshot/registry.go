@@ -35,13 +35,34 @@ import (
 // or briefly resurrect an already-unlinked retired enrollment; both are
 // harmless because only retired enrollments are ever unlinked and retired
 // records are never visited.
+//
+// Records are pooled (pool.go), so "retired" has a second face: an
+// enrollment can outlive not just its record's scan but its record's
+// incarnation. Each enrollment therefore captures the record generation it
+// was created for, and a walker treats a generation mismatch exactly like
+// a done flag — unlink and move on. Before actually visiting, a walker
+// also pins the record (takes a reference), which keeps it out of the pool
+// for the duration of the visit; the pin can fail only if the record
+// retired since the staleness check, in which case the enrollment is
+// unlinkable after all. Enrollment nodes themselves are never pooled:
+// walkers read next pointers of nodes that are already unlinked, and
+// recycling one could splice a walk into a different incarnation of the
+// list.
 
 // enrollment links one scan record into one registry slot. A record
 // enrolled in k slots owns k enrollment nodes, each with its own next
-// pointer.
+// pointer. gen pins down which incarnation of the record the enrollment
+// belongs to.
 type enrollment[V any] struct {
 	rec  *scanRecord[V]
+	gen  uint64
 	next atomic.Pointer[enrollment[V]]
+}
+
+// stale reports whether e's record no longer needs this enrollment: its
+// scan completed, or the record has moved on to a later incarnation.
+func (e *enrollment[V]) stale() bool {
+	return e.rec.done.Load() || e.rec.gen.Load() != e.gen
 }
 
 // slot is one component's announcement stack plus its locality gauges,
@@ -62,12 +83,18 @@ type registry[V any] struct {
 	deduped atomic.Uint64 // walk encounters skipped as already seen
 
 	// yield is the schedule-injection hook, nil outside instrumented
-	// tests. It fires at sched.PostEnroll after each per-slot enrollment
-	// and at sched.PreUnlink before each lazy-unlink CAS, so the
-	// half-enrolled windows and the unlink races (two walkers unlinking
-	// the same retired enrollment; an unlinker racing a fresh enroller)
-	// are scriptable rather than yield-point gaps.
+	// tests. It fires at sched.PostEnroll after each per-slot enrollment,
+	// at sched.PreUnlink before each lazy-unlink CAS, and at
+	// sched.PreVisit once per enrollment a walk loads, so the
+	// half-enrolled windows, the unlink races (two walkers unlinking the
+	// same retired enrollment; an unlinker racing a fresh enroller) and
+	// the retire-and-recycle-under-a-walker races are scriptable rather
+	// than yield-point gaps.
 	yield func(p sched.Point, arg int)
+
+	// release drops a walker's pin on a record (set by the owning
+	// LockFree; whoever drops the last reference pools the record).
+	release func(rec *scanRecord[V])
 }
 
 func newRegistry[V any](n int) registry[V] {
@@ -79,12 +106,13 @@ func newRegistry[V any](n int) registry[V] {
 // each slot head.
 func (r *registry[V]) enroll(rec *scanRecord[V]) {
 	r.live.Add(1)
+	gen := rec.gen.Load() // stable: the enrolling owner holds a reference
 	for _, c := range rec.ids {
-		e := &enrollment[V]{rec: rec}
+		e := &enrollment[V]{rec: rec, gen: gen}
 		s := &r.slots[c]
 		for {
 			head := s.head.Load()
-			if head != nil && head.rec.done.Load() {
+			if head != nil && head.stale() {
 				if r.yield != nil {
 					r.yield(sched.PreUnlink, c)
 				}
@@ -110,10 +138,15 @@ func (r *registry[V]) retire(rec *scanRecord[V]) {
 }
 
 // walkSlot visits every live record enrolled in component c's slot, newest
-// enrollment first, unlinking retired enrollments encountered on the way.
-// The newest-first order serves the deepest records of any help chain
-// before the records that wait on them.
-func (r *registry[V]) walkSlot(c int, visit func(*scanRecord[V])) {
+// enrollment first, unlinking stale enrollments (retired records and
+// leftover paths to recycled ones) encountered on the way. The visit
+// callback receives the enrollment's generation alongside the record so
+// the caller's dedup can tell incarnations apart; the record is pinned for
+// the duration of the callback, so it cannot return to the pool — and
+// therefore cannot be recycled into a different scan — while the caller
+// helps it. The newest-first order serves the deepest records of any help
+// chain before the records that wait on them.
+func (r *registry[V]) walkSlot(c int, visit func(rec *scanRecord[V], gen uint64)) {
 	s := &r.slots[c]
 	s.walks.Add(1)
 	cur := s.head.Load()
@@ -122,8 +155,21 @@ func (r *registry[V]) walkSlot(c int, visit func(*scanRecord[V])) {
 	}
 	var prev *enrollment[V]
 	for cur != nil {
+		if r.yield != nil {
+			r.yield(sched.PreVisit, c)
+		}
 		next := cur.next.Load()
-		if cur.rec.done.Load() {
+		// Three-step liveness check: a quick stale glance, then a pin, then
+		// a recheck under the pin (the record may have retired — or retired
+		// AND recycled — between the glance and the pin; the pin only
+		// proves the count never reached zero, not that the incarnation is
+		// still the enrollment's).
+		live := !cur.stale() && cur.rec.pin()
+		if live && cur.stale() {
+			r.release(cur.rec)
+			live = false
+		}
+		if !live {
 			if r.yield != nil {
 				r.yield(sched.PreUnlink, c)
 			}
@@ -136,7 +182,8 @@ func (r *registry[V]) walkSlot(c int, visit func(*scanRecord[V])) {
 			continue
 		}
 		s.visited.Add(1)
-		visit(cur.rec)
+		visit(cur.rec, cur.gen)
+		r.release(cur.rec)
 		prev = cur
 		cur = next
 	}

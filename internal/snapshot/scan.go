@@ -16,11 +16,20 @@ import (
 // (k-1) record, so records form the help chains of the paper's recursive
 // construction. A record is enrolled in the registry slot of every
 // component in ids and carries no links of its own (see enrollment).
+//
+// Records are pooled and recycled (see pool.go): gen counts the record's
+// incarnations so stale registry enrollments are detectable, and refs
+// counts the owner plus every walker currently visiting, so the record
+// returns to the pool only once nobody can still read it. Obtain records
+// with acquireRecord, never with new — a zero-refs record is unpinnable
+// and invisible to helpers.
 type scanRecord[V any] struct {
 	ids   []int // announced components, in the scanner's order
 	level int   // help-chain depth of this record
 	help  atomic.Pointer[helpView[V]]
 	done  atomic.Bool
+	gen   atomic.Uint64 // incarnation count; enrollments capture it
+	refs  atomic.Int64  // owner + pinned walkers; 0 = poolable
 }
 
 // announce enrolls rec in the registry slot of each component it names.
@@ -28,10 +37,25 @@ func (o *LockFree[V]) announce(rec *scanRecord[V]) {
 	o.reg.enroll(rec)
 }
 
-// retire marks rec completed; its per-slot enrollments are unlinked lazily
-// by later walks and enrolls of each slot.
+// retire marks rec completed and drops the owner's reference; its per-slot
+// enrollments are unlinked lazily by later walks and enrolls of each slot,
+// and the record itself returns to the pool once the last pinned helper
+// lets go.
 func (o *LockFree[V]) retire(rec *scanRecord[V]) {
 	o.reg.retire(rec)
+	if o.unsafeEagerRelease {
+		// Test-only mutation seam: return the record to the pool the moment
+		// the owner retires it, ignoring helper pins — the use-after-reuse
+		// bug the reference count exists to prevent. While the seam is
+		// active, retire is the ONLY pooling site (releaseRef checks the
+		// flag): a lingering helper's release after the record has been
+		// recycled would otherwise drop the new owner's count to zero and
+		// pool the same live record twice.
+		rec.refs.Store(0)
+		o.records.put(rec)
+		return
+	}
+	o.releaseRef(rec)
 }
 
 // ScanInfo describes how a partial scan completed.
@@ -66,9 +90,12 @@ func (o *LockFree[V]) PartialScanInfo(ids []int) ([]V, ScanInfo, error) {
 	if err := validateIDs(len(o.cells), ids); err != nil {
 		return nil, info, err
 	}
-	a := make([]*cell[V], len(ids))
-	b := make([]*cell[V], len(ids))
-	// Fast path: an uncontended scan needs no announcement.
+	bufs := o.getBufs(len(ids))
+	defer o.putBufs(bufs)
+	a, b := bufs.a, bufs.b
+	// Fast path: an uncontended scan needs no announcement, and with the
+	// pooled buffers its only allocation is the result slice the caller
+	// keeps.
 	o.collect(ids, a)
 	o.yield(sched.PostFirstCollect, 0)
 	o.collect(ids, b)
@@ -77,7 +104,7 @@ func (o *LockFree[V]) PartialScanInfo(ids []int) ([]V, ScanInfo, error) {
 	}
 	o.scanRetries.Add(1)
 	info.Retries++
-	rec := &scanRecord[V]{ids: append([]int(nil), ids...)}
+	rec := o.acquireRecord(ids, 0)
 	o.announce(rec)
 	defer o.retire(rec)
 	o.yield(sched.PostAnnounce, 0)
