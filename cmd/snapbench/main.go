@@ -4,10 +4,11 @@
 // for implementations that expose them — to a BENCH_*.json file.
 //
 // Scenarios are the named workload shapes of internal/workload (mixed,
-// partitioned, zipfian, batch-heavy, scan-heavy) — the same generator the
-// exploration and stress tests model-check, so every measured scenario is
-// also a correctness-searched one. A scan fraction of -1 (the default)
-// and zero widths take the shape's own defaults.
+// partitioned, zipfian, batch-heavy, scan-heavy, churn, flash-crowd) —
+// the same generator the exploration and stress tests model-check, so
+// every measured scenario is also a correctness-searched one. A scan
+// fraction of -1 (the default) and zero widths take the shape's own
+// defaults; so does a -resize-every of 0 for the resizing shapes.
 //
 // Examples:
 //
@@ -22,6 +23,12 @@
 //	# Hot-head contention: zipfian-skewed component choice.
 //	snapbench -scenario zipfian -goroutines 4 -components 64 \
 //	          -scan-widths 8 -duration 200ms
+//
+//	# Epoch churn: worker 0 Grows/Shrinks the universe every 4th op while
+//	# the rest update and scan; cells record resize_every so benchdiff
+//	# never compares universes of different cadence.
+//	snapbench -scenario churn -goroutines 4 -components 64 \
+//	          -scan-widths 8 -resize-every 4 -duration 200ms
 package main
 
 import (
@@ -53,6 +60,7 @@ func main() {
 	scanWidths := flag.String("scan-widths", "1,8,32", "comma-separated partial-scan widths")
 	updateWidth := flag.Int("update-width", 2, "components per update")
 	scanFrac := flag.Float64("scan-frac", -1, "fraction of operations that are scans (-1 = the scenario shape's default)")
+	resizeEvery := flag.Int("resize-every", 0, "resizing scenarios: worker 0 Grows/Shrinks every Nth op (0 = the shape's default; must stay 0 for fixed-universe scenarios)")
 	duration := flag.Duration("duration", 200*time.Millisecond, "duration of each benchmark cell")
 	seed := flag.Int64("seed", 1, "workload random seed")
 	out := flag.String("out", "", "output path (default BENCH_<unix>.json)")
@@ -71,7 +79,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := run(*scenario, implList, gList, cList, wList, *updateWidth, *scanFrac, *duration, *seed, *out); err != nil {
+	if err := run(*scenario, implList, gList, cList, wList, *updateWidth, *scanFrac, *resizeEvery, *duration, *seed, *out); err != nil {
 		fail(err)
 	}
 }
@@ -81,7 +89,7 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func run(scenario string, impls []string, goroutines, components, scanWidths []int, updateWidth int, scanFrac float64, duration time.Duration, seed int64, out string) error {
+func run(scenario string, impls []string, goroutines, components, scanWidths []int, updateWidth int, scanFrac float64, resizeEvery int, duration time.Duration, seed int64, out string) error {
 	// A bad scenario name is a sweep-wide mistake: abort before the loop
 	// instead of skipping every cell.
 	known := scenario == ""
@@ -113,6 +121,7 @@ func run(scenario string, impls []string, goroutines, components, scanWidths []i
 						ScanWidth:   w,
 						UpdateWidth: min(updateWidth, n),
 						ScanFrac:    scanFrac,
+						ResizeEvery: resizeEvery,
 						Duration:    duration,
 						Seed:        seed,
 					}
@@ -138,14 +147,26 @@ func run(scenario string, impls []string, goroutines, components, scanWidths []i
 					if res.AllocsPerOp != nil {
 						allocs = fmt.Sprintf("  %6.3f allocs/op %7.1f B/op", *res.AllocsPerOp, *res.BytesPerOp)
 					}
+					churn := ""
+					if res.ResizeOps > 0 || res.RejectedOps > 0 {
+						churn = fmt.Sprintf("  resizes=%d rejected=%d", res.ResizeOps, res.RejectedOps)
+					}
 					// res carries the resolved config (shape defaults filled
 					// in), so report that width, not the raw flag value.
-					fmt.Fprintf(os.Stderr, "%-9s %-11s n=%-4d width=%-3d g=%-3d %12.0f ops/sec%s%s\n",
-						cfg.Impl, scenario, n, res.ScanWidth, g, res.OpsPerSec, allocs, contention)
+					fmt.Fprintf(os.Stderr, "%-9s %-11s n=%-4d width=%-3d g=%-3d %12.0f ops/sec%s%s%s\n",
+						cfg.Impl, scenario, n, res.ScanWidth, g, res.OpsPerSec, allocs, churn, contention)
 					rep.Results = append(rep.Results, res)
 				}
 			}
 		}
+	}
+	// Skipping is per-cell (one infeasible width should not kill a sweep),
+	// but a sweep where EVERY cell was skipped is a sweep-wide mistake —
+	// e.g. -resize-every on a fixed-universe scenario — and writing an
+	// empty BENCH file with exit 0 would hide it from both the user and
+	// benchdiff.
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no feasible cells: every cell in the sweep was skipped (see skip lines above)")
 	}
 	if out == "" {
 		if scenario != "" && scenario != bench.ScenarioMixed {

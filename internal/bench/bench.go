@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,6 +41,13 @@ const (
 	ScenarioBatchHeavy = string(workload.BatchHeavy)
 	// ScenarioScanHeavy is scan-dominated wide partial scans.
 	ScenarioScanHeavy = string(workload.ScanHeavy)
+	// ScenarioChurn runs mixed traffic over a breathing universe: worker 0
+	// periodically Grows and Shrinks the object while everyone's component
+	// picks spread over the base and flex zones.
+	ScenarioChurn = string(workload.Churn)
+	// ScenarioFlashCrowd is churn with most traffic rushing the appearing-
+	// and-disappearing flex components.
+	ScenarioFlashCrowd = string(workload.FlashCrowd)
 )
 
 // Scenarios lists every accepted scenario name.
@@ -86,6 +94,11 @@ type Config struct {
 	// ScanFrac is the fraction of operations that are scans, in [0,1];
 	// negative selects the scenario shape's default.
 	ScanFrac float64 `json:"scan_frac"`
+	// ResizeEvery is the churner's resize cadence for resizing scenarios
+	// (0 = shape default; must stay 0 for fixed-universe scenarios). Part
+	// of the benchdiff cell key: cells with different churn cadences — or a
+	// churn cell and a fixed cell — are never compared against each other.
+	ResizeEvery int `json:"resize_every,omitempty"`
 	// Duration is how long the workload runs.
 	Duration time.Duration `json:"duration_ns"`
 	// Seed makes the workload reproducible.
@@ -99,6 +112,14 @@ type Result struct {
 	ScanOps    uint64  `json:"scan_ops"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	// ResizeOps counts completed Grow/Shrink operations (resizing
+	// scenarios only); RejectedOps counts updates and scans that drew
+	// ErrBadComponent because they named a momentarily-shrunk component —
+	// expected traffic in a resizing scenario, a hard failure anywhere
+	// else. Rejected ops count toward neither OpsPerSec nor the
+	// per-operation allocation figures.
+	ResizeOps   uint64 `json:"resize_ops,omitempty"`
+	RejectedOps uint64 `json:"rejected_ops,omitempty"`
 	// AllocsPerOp and BytesPerOp are the heap allocation count and byte
 	// volume per completed operation, measured over the whole cell via
 	// runtime.MemStats deltas. The measurement amortises the harness's own
@@ -147,6 +168,7 @@ func generator(cfg Config) (*workload.Generator, Config, error) {
 		ScanWidth:   cfg.ScanWidth,
 		UpdateWidth: cfg.UpdateWidth,
 		ScanFrac:    cfg.ScanFrac,
+		ResizeEvery: cfg.ResizeEvery,
 		Seed:        cfg.Seed,
 	})
 	if err != nil {
@@ -156,6 +178,7 @@ func generator(cfg Config) (*workload.Generator, Config, error) {
 	cfg.ScanWidth = resolved.ScanWidth
 	cfg.UpdateWidth = resolved.UpdateWidth
 	cfg.ScanFrac = resolved.ScanFrac
+	cfg.ResizeEvery = resolved.ResizeEvery
 	return gen, cfg, nil
 }
 
@@ -191,8 +214,11 @@ func Run(cfg Config) (Result, error) {
 // trips a shared stop that cancels the clock and the other workers
 // promptly.
 func runWithObject(obj snapshot.Object[int64], gen *workload.Generator, cfg Config) (Result, error) {
+	// Resizing shapes generate ops that legitimately name momentarily-
+	// shrunk components; those rejections are counted, not fatal.
+	tolerateRejects := gen.Config().Shape.Resizes()
 	var stop atomic.Bool
-	var updates, scans atomic.Uint64
+	var updates, scans, resizes, rejects atomic.Uint64
 	var wg sync.WaitGroup
 	var firstErr atomic.Pointer[error]
 	var stopOnce sync.Once
@@ -212,32 +238,63 @@ func runWithObject(obj snapshot.Object[int64], gen *workload.Generator, cfg Conf
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			var localUpdates, localScans uint64
+			var localUpdates, localScans, localResizes, localRejects uint64
 			defer func() {
 				updates.Add(localUpdates)
 				scans.Add(localScans)
+				resizes.Add(localResizes)
+				rejects.Add(localRejects)
 			}()
 			fail := func(err error) {
 				e := err
 				firstErr.CompareAndSwap(nil, &e)
 				halt()
 			}
+			rejected := func(err error) bool {
+				if err == nil {
+					return false
+				}
+				if tolerateRejects && errors.Is(err, snapshot.ErrBadComponent) {
+					localRejects++
+					return true
+				}
+				fail(err)
+				return true
+			}
 			stream := gen.Stream(worker)
 			for !stop.Load() {
 				op := stream.Next()
 				switch op.Kind {
 				case workload.OpScan:
-					if _, err := obj.PartialScan(op.Comps); err != nil {
-						fail(err)
-						return
+					if _, err := obj.PartialScan(op.Comps); rejected(err) {
+						if stop.Load() {
+							return
+						}
+						continue
 					}
 					localScans++
 				case workload.OpUpdate:
-					if err := obj.Update(op.Comps, op.Vals); err != nil {
+					if err := obj.Update(op.Comps, op.Vals); rejected(err) {
+						if stop.Load() {
+							return
+						}
+						continue
+					}
+					localUpdates++
+				case workload.OpGrow:
+					// The generator guarantees a single churner, so a resize
+					// failure is a harness bug, never expected traffic.
+					if _, err := obj.Grow(op.Delta); err != nil {
 						fail(err)
 						return
 					}
-					localUpdates++
+					localResizes++
+				case workload.OpShrink:
+					if _, err := obj.Shrink(op.Delta); err != nil {
+						fail(err)
+						return
+					}
+					localResizes++
 				}
 			}
 		}(g)
@@ -252,13 +309,15 @@ func runWithObject(obj snapshot.Object[int64], gen *workload.Generator, cfg Conf
 	runtime.ReadMemStats(&m1)
 
 	res := Result{
-		Config:     cfg,
-		UpdateOps:  updates.Load(),
-		ScanOps:    scans.Load(),
-		ElapsedSec: elapsed.Seconds(),
+		Config:      cfg,
+		UpdateOps:   updates.Load(),
+		ScanOps:     scans.Load(),
+		ResizeOps:   resizes.Load(),
+		RejectedOps: rejects.Load(),
+		ElapsedSec:  elapsed.Seconds(),
 	}
-	res.OpsPerSec = float64(res.UpdateOps+res.ScanOps) / res.ElapsedSec
-	if ops := res.UpdateOps + res.ScanOps; ops > 0 {
+	res.OpsPerSec = float64(res.UpdateOps+res.ScanOps+res.ResizeOps) / res.ElapsedSec
+	if ops := res.UpdateOps + res.ScanOps + res.ResizeOps; ops > 0 {
 		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(ops)
 		bytes := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops)
 		res.AllocsPerOp, res.BytesPerOp = &allocs, &bytes

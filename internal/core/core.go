@@ -12,6 +12,9 @@ type Object[V any] = snapshot.Object[V]
 // ErrBadComponent reports an invalid component-ID set.
 var ErrBadComponent = snapshot.ErrBadComponent
 
+// ErrBadResize reports an invalid Grow/Shrink amount.
+var ErrBadResize = snapshot.ErrBadResize
+
 // NewLockFree returns the wait-free partial snapshot object.
 func NewLockFree[V any](n int) Object[V] { return snapshot.NewLockFree[V](n) }
 

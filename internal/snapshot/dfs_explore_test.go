@@ -1,6 +1,7 @@
 package snapshot_test
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -132,6 +133,128 @@ func TestDFSExhaustsTwoWritersOneScanner(t *testing.T) {
 		t.Fatalf("the preemption bound never pruned anything, scenario too small: %+v", rep)
 	}
 	t.Logf("exhausted preemption-%d space: %d schedules, %d steps, %d budget-pruned branches",
+		bound, rep.Schedules, rep.Steps, rep.BudgetSkips)
+}
+
+// churnScenario is the dynamic-universe acceptance scenario: one grower
+// that installs an epoch, writes the component it created, and removes it
+// again (Grow(1) → Update{2} → Shrink(1)); one writer on the permanent
+// components {0,1}; one scanner over {1,2}, whose scan is valid only in
+// the grown epoch — every schedule in which it pins a 2-component universe
+// must reject with ErrBadComponent, and every schedule in which it pins
+// the grown one must return a view the dynamic spec accepts. This is the
+// smallest shape in which epoch pinning, the install CAS, cross-epoch
+// helping and shrunk-component rejection all interleave.
+func churnScenario(c *sched.Controller) sched.Oracle {
+	o := snapshot.NewLockFree[int64](2).Instrument(c)
+	rec := &spec.Recorder[int64]{}
+	var mu sync.Mutex
+	var opErrs []error
+	var rejected atomic.Uint64
+	fail := func(err error) {
+		mu.Lock()
+		opErrs = append(opErrs, err)
+		mu.Unlock()
+	}
+	c.Spawn("grower", func() {
+		start := rec.Now()
+		size, err := o.Grow(1)
+		if err != nil {
+			fail(fmt.Errorf("grower Grow: %w", err))
+			return
+		}
+		rec.Add(spec.Op[int64]{Kind: spec.Grow, Start: start, End: rec.Now(), Delta: 1, Size: size})
+		// The grower is the only resizer, so between its own resizes the
+		// grown component indisputably exists: this update must succeed.
+		start = rec.Now()
+		id, err := o.UpdateOp([]int{2}, []int64{workload.Value(2, 2)})
+		if err != nil {
+			fail(fmt.Errorf("grower Update{2}: %w", err))
+			return
+		}
+		rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
+			Comps: []int{2}, Vals: []int64{workload.Value(2, 2)}, UpdateID: id})
+		start = rec.Now()
+		size, err = o.Shrink(1)
+		if err != nil {
+			fail(fmt.Errorf("grower Shrink: %w", err))
+			return
+		}
+		rec.Add(spec.Op[int64]{Kind: spec.Shrink, Start: start, End: rec.Now(), Delta: 1, Size: size})
+	})
+	c.Spawn("writer", func() {
+		start := rec.Now()
+		id, err := o.UpdateOp([]int{0, 1}, []int64{workload.Value(0, 0), workload.Value(0, 1)})
+		if err != nil {
+			fail(fmt.Errorf("writer: %w", err))
+			return
+		}
+		rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
+			Comps: []int{0, 1}, Vals: []int64{workload.Value(0, 0), workload.Value(0, 1)}, UpdateID: id})
+	})
+	c.Spawn("scanner", func() {
+		start := rec.Now()
+		vals, info, err := o.PartialScanInfo([]int{1, 2})
+		if err != nil {
+			if errors.Is(err, snapshot.ErrBadComponent) {
+				// Pinned a universe without component 2: the rejection
+				// linearizes at the pin, against a 2-component epoch — a
+				// legal outcome, not a history event.
+				rejected.Add(1)
+				return
+			}
+			fail(fmt.Errorf("scanner: %w", err))
+			return
+		}
+		rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(),
+			Comps: []int{1, 2}, Vals: vals, AdoptedFrom: info.HelperOp})
+	})
+	base := specOracle(2, o, rec, &mu, &opErrs)
+	return func(tr sched.Trace) error {
+		if err := base(tr); err != nil {
+			return err
+		}
+		if st := o.Stats(); st.Grows != 1 || st.Shrinks != 1 || st.Epoch != 2 {
+			return fmt.Errorf("epoch accounting corrupted: %+v", st)
+		}
+		return nil
+	}
+}
+
+// TestDFSExhaustsChurnScenario enumerates the ENTIRE preemption-bounded
+// schedule space of the 1-grower/1-writer/1-scanner churn scenario and
+// requires every schedule — scans pinned before, during and after the
+// grow/shrink pair, helps crossing epochs, rejections landing on the
+// shrunk component — to pass the dynamic sequential spec and the
+// provenance oracle. Within the bound there is no interleaving of resizes
+// with the snapshot protocol the oracle has not accepted.
+func TestDFSExhaustsChurnScenario(t *testing.T) {
+	bound := 2
+	if testing.Short() {
+		bound = 1
+	}
+	bound += deepExtra()
+	d := &sched.DFSExplorer{MaxPreemptions: bound, Timeout: dfsTimeout()}
+	rep := d.Explore(churnScenario)
+	if rep.Failure != nil {
+		f := rep.Failure
+		t.Fatalf("schedule %d failed: %v\nshrunk trace (%d steps):\n%s",
+			f.Schedule, f.Err, len(f.Trace), f.Trace)
+	}
+	if !rep.Exhausted {
+		t.Fatalf("search did not exhaust the preemption-%d space: %+v", bound, rep)
+	}
+	floor := 50
+	if bound == 1 {
+		floor = 20
+	}
+	if rep.Schedules < floor {
+		t.Fatalf("suspiciously small schedule space (%d schedules at bound %d) — did the scenario degenerate?", rep.Schedules, bound)
+	}
+	if rep.BudgetSkips == 0 {
+		t.Fatalf("the preemption bound never pruned anything, scenario too small: %+v", rep)
+	}
+	t.Logf("exhausted preemption-%d churn space: %d schedules, %d steps, %d budget-pruned branches",
 		bound, rep.Schedules, rep.Steps, rep.BudgetSkips)
 }
 

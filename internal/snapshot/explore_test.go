@@ -1,6 +1,7 @@
 package snapshot_test
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -62,6 +63,11 @@ func exploreCells() []exploreCell {
 		{shape: workload.Partitioned, components: 4, workers: 2, scanWidth: 2, updateWidth: 1, opsPerWorker: 5},
 		{shape: workload.BatchHeavy, components: 4, workers: 3, scanWidth: 2, updateWidth: 3, opsPerWorker: 5},
 		{shape: workload.ScanHeavy, components: 4, workers: 3, scanWidth: 3, updateWidth: 1, opsPerWorker: 5},
+		// Resizing shapes: 8 ops per worker so the churner (worker 0, shape
+		// default cadence 4) issues a full Grow/Shrink pair per stream and
+		// every explored schedule crosses at least two epoch installs.
+		{shape: workload.Churn, components: 4, workers: 3, scanWidth: 2, updateWidth: 2, opsPerWorker: 8},
+		{shape: workload.FlashCrowd, components: 4, workers: 3, scanWidth: 2, updateWidth: 2, opsPerWorker: 8},
 	}
 }
 
@@ -135,6 +141,10 @@ func (ec exploreCell) scenario(seed int64, run *exploreRun) sched.Scenario {
 		rec := &spec.Recorder[int64]{}
 		var mu sync.Mutex
 		var opErrs []error
+		// On resizing shapes an update or scan may name a component a
+		// concurrent Shrink removed; the typed rejection linearizes after
+		// that Shrink and is dropped from the history, not recorded.
+		tolerateRejects := gen.Config().Shape.Resizes()
 		for w := 0; w < ec.workers; w++ {
 			ops := gen.Ops(w, ec.opsPerWorker)
 			name := fmt.Sprintf("w%d", w)
@@ -145,6 +155,9 @@ func (ec exploreCell) scenario(seed int64, run *exploreRun) sched.Scenario {
 						start := rec.Now()
 						id, err := o.UpdateOp(op.Comps, op.Vals)
 						if err != nil {
+							if tolerateRejects && errors.Is(err, snapshot.ErrBadComponent) {
+								continue
+							}
 							mu.Lock()
 							opErrs = append(opErrs, fmt.Errorf("%s: UpdateOp%v: %w", name, op.Comps, err))
 							mu.Unlock()
@@ -156,6 +169,9 @@ func (ec exploreCell) scenario(seed int64, run *exploreRun) sched.Scenario {
 						start := rec.Now()
 						vals, info, err := o.PartialScanInfo(op.Comps)
 						if err != nil {
+							if tolerateRejects && errors.Is(err, snapshot.ErrBadComponent) {
+								continue
+							}
 							mu.Lock()
 							opErrs = append(opErrs, fmt.Errorf("%s: PartialScanInfo%v: %w", name, op.Comps, err))
 							mu.Unlock()
@@ -163,6 +179,28 @@ func (ec exploreCell) scenario(seed int64, run *exploreRun) sched.Scenario {
 						}
 						rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(),
 							Comps: op.Comps, Vals: vals, AdoptedFrom: info.HelperOp})
+					case workload.OpGrow:
+						start := rec.Now()
+						size, err := o.Grow(op.Delta)
+						if err != nil {
+							mu.Lock()
+							opErrs = append(opErrs, fmt.Errorf("%s: Grow(%d): %w", name, op.Delta, err))
+							mu.Unlock()
+							return
+						}
+						rec.Add(spec.Op[int64]{Kind: spec.Grow, Start: start, End: rec.Now(),
+							Delta: op.Delta, Size: size})
+					case workload.OpShrink:
+						start := rec.Now()
+						size, err := o.Shrink(op.Delta)
+						if err != nil {
+							mu.Lock()
+							opErrs = append(opErrs, fmt.Errorf("%s: Shrink(%d): %w", name, op.Delta, err))
+							mu.Unlock()
+							return
+						}
+						rec.Add(spec.Op[int64]{Kind: spec.Shrink, Start: start, End: rec.Now(),
+							Delta: op.Delta, Size: size})
 					}
 				}
 			})

@@ -24,7 +24,7 @@ type seenRecord[V any] struct {
 	gen uint64
 }
 
-// helpIntersectingScans walks the registry slot of every component the
+// helpIntersectingScans walks u's registry slot of every component the
 // update is about to write and, for each live record found, completes an
 // embedded scan of that record's set and posts the view. Records enrolled
 // in several of the walked slots are seen once per shared slot and deduped
@@ -32,11 +32,32 @@ type seenRecord[V any] struct {
 // never touches, so they cost the update nothing and are never observed —
 // unlike the earlier global announcement stack, which every update walked
 // end to end.
-func (o *LockFree[V]) helpIntersectingScans(ids []int, op uint64) {
+//
+// u is the updater's pinned universe. A slot surviving across epochs is
+// aliased, so the walk finds records enrolled through any epoch that
+// shares the component; records found may therefore carry a rec.uni older
+// than u, and the embedded scan runs through THAT universe — the epoch the
+// scanner's collects read.
+func (o *LockFree[V]) helpIntersectingScans(u *universe[V], ids []int, op uint64) {
 	var seen []seenRecord[V] // allocated only if a live record is found
 	for _, id := range ids {
 		o.yield(sched.PreSlotWalk, id)
-		o.reg.walkSlot(id, func(rec *scanRecord[V], gen uint64) {
+		wu := u
+		if o.unpinnedEpoch {
+			// Test-only mutation seam: walk the slot of whatever universe is
+			// installed at WALK time instead of the pinned one, while the
+			// caller still stores through the pinned cells — the
+			// unpinned-epoch walker bug the DFS conviction test targets. A
+			// shrink-then-regrow between the pin and this load replaces the
+			// component's slot with a fresh one, so the walk misses
+			// enrollments the protocol obliges it to serve. The bounds guard
+			// keeps the mutant a protocol violation rather than a crash when
+			// the current universe is smaller than the pinned one.
+			if cur := o.uni.Load(); id < len(cur.slots) {
+				wu = cur
+			}
+		}
+		o.reg.walkSlot(wu.slots[id], id, func(rec *scanRecord[V], gen uint64) {
 			for _, s := range seen {
 				if s.rec == rec && s.gen == gen {
 					o.reg.deduped.Add(1)
@@ -85,16 +106,23 @@ func (o *LockFree[V]) helpIntersectingScans(ids []int, op uint64) {
 // re-creates the old lock-free-only behaviour of giving up after a fixed
 // number of failed collects, which the model-checking tests use to prove
 // the searcher catches the resulting protocol violation.
+//
+// The whole embedded scan — collects and its own announcement — runs
+// through target.uni, the epoch the target's scanner pinned, not through
+// the helper's own pinned epoch: the view must be consistent in the
+// scanner's universe, and the chained record must be findable by exactly
+// the updates that can obstruct collects of that universe.
 func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, depth int, ok bool) {
+	tu := target.uni
 	bufs := o.getBufs(len(target.ids))
 	defer o.putBufs(bufs)
 	a, b := bufs.a, bufs.b
 	level := target.level + 1
 	failures := 0
 	// Fast path: try one unannounced double collect first.
-	o.collect(target.ids, a)
+	tu.collect(target.ids, a)
 	o.yield(sched.PostFirstCollect, level)
-	o.collect(target.ids, b)
+	tu.collect(target.ids, b)
 	if sameCells(a, b) {
 		return cellVals(b), level, true
 	}
@@ -103,7 +131,7 @@ func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, 
 	if o.helpBound > 0 && failures >= o.helpBound {
 		return nil, 0, false // injected mutation: abandon the scanner
 	}
-	rec := o.acquireRecord(target.ids, level)
+	rec := o.acquireRecord(tu, target.ids, level)
 	o.announce(rec)
 	defer o.retire(rec)
 	o.yield(sched.PostAnnounce, level)
@@ -111,9 +139,9 @@ func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, 
 		if target.done.Load() || target.help.Load() != nil {
 			return nil, 0, false
 		}
-		o.collect(rec.ids, a)
+		tu.collect(rec.ids, a)
 		o.yield(sched.PostFirstCollect, level)
-		o.collect(rec.ids, b)
+		tu.collect(rec.ids, b)
 		if sameCells(a, b) {
 			return cellVals(b), level, true
 		}

@@ -108,7 +108,7 @@ func TestCrossPartitionUpdatesNeverVisitRegistry(t *testing.T) {
 // helps it exactly once: the walk's seen list dedups slots two and three.
 func TestMultiEnrollmentDedup(t *testing.T) {
 	o := NewLockFree[int64](4)
-	rec := o.acquireRecord([]int{0, 1, 2}, 0)
+	rec := o.acquireRecord(o.uni.Load(), []int{0, 1, 2}, 0)
 	o.announce(rec)
 
 	op, err := o.UpdateOp([]int{0, 1, 2}, []int64{10, 11, 12})
@@ -138,7 +138,7 @@ func TestMultiEnrollmentDedup(t *testing.T) {
 func TestRecordRetiredInOneSlotReadViaAnother(t *testing.T) {
 	ctl := sched.NewController()
 	o := NewLockFree[int64](4).Instrument(ctl)
-	rec := o.acquireRecord([]int{0, 1}, 0)
+	rec := o.acquireRecord(o.uni.Load(), []int{0, 1}, 0)
 	o.announce(rec)
 
 	ctl.Spawn("updater", func() {

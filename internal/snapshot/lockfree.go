@@ -14,16 +14,22 @@ import (
 // help — see embeddedScan for the termination argument. Zero value is not
 // usable; call NewLockFree.
 //
-// The implementation is split by layer: registers.go holds the
+// The implementation is split by layer: epoch.go holds the epoch-versioned
+// universe (the resizable shape behind Grow/Shrink), registers.go the
 // per-component cells and op-id shards, registry.go the sharded
 // announcement registry, scan.go the scanner side, helping.go the updater
 // side.
 type LockFree[V any] struct {
-	cells []atomic.Pointer[cell[V]]
-	reg   registry[V]            // per-component announcement registry
-	ops   [opShards]paddedUint64 // sharded update op-id counters
-	all   []int                  // cached [0..n) for Scan
-	sched sched.Scheduler        // nil outside schedule-injection tests
+	// uni is the current universe — the single atomically-published pointer
+	// behind which the whole component shape (register cells, registry
+	// slots) lives. Operations pin it once (see pin) and never look again;
+	// Grow/Shrink replace it by CAS.
+	uni atomic.Pointer[universe[V]]
+
+	reg registry[V]            // announcement bookkeeping shared by all epochs
+	ops [opShards]paddedUint64 // sharded update op-id counters
+
+	sched sched.Scheduler // nil outside schedule-injection tests
 
 	// bufs and records recycle the hot paths' working state (collect
 	// buffers, scan records) so steady-state operations stay allocation-
@@ -46,11 +52,31 @@ type LockFree[V any] struct {
 	// reuse; production objects always leave it false.
 	unsafeEagerRelease bool
 
+	// unpinnedEpoch, when true, makes Update walk the announcement slots of
+	// the CURRENTLY INSTALLED universe instead of the one it pinned — the
+	// epoch-pinning bug in which an updater stores through old cells but
+	// looks for scanners in new slots, missing enrollments that a
+	// shrink-and-regrow replaced. It exists ONLY as a mutation seam for the
+	// model-checking tests, which assert the DFS searcher convicts the
+	// resulting obstruction-without-help schedules; production objects
+	// always leave it false.
+	unpinnedEpoch bool
+
 	scanRetries  atomic.Uint64
 	helpsPosted  atomic.Uint64
 	helpsAdopted atomic.Uint64
 	maxDepth     atomic.Int64
 	recReuses    atomic.Uint64
+
+	epochInstalls atomic.Uint64
+	grows         atomic.Uint64
+	shrinks       atomic.Uint64
+
+	// retiredWalks/retiredVisited accumulate the locality gauges of slots
+	// dropped by Shrink, folded in at install time so Stats stays monotonic
+	// across epochs (see Shrink).
+	retiredWalks   atomic.Uint64
+	retiredVisited atomic.Uint64
 }
 
 // NewLockFree returns a wait-free partial snapshot object with n components,
@@ -59,17 +85,9 @@ func NewLockFree[V any](n int) *LockFree[V] {
 	if n <= 0 {
 		panic("snapshot: number of components must be positive")
 	}
-	o := &LockFree[V]{
-		cells:   make([]atomic.Pointer[cell[V]], n),
-		reg:     newRegistry[V](n),
-		all:     allIDs(n),
-		records: &sharedRecordPool[V]{},
-	}
+	o := &LockFree[V]{records: &sharedRecordPool[V]{}}
+	o.uni.Store(newUniverse[V](n))
 	o.reg.release = o.releaseRef
-	initial := &cell[V]{}
-	for i := range o.cells {
-		o.cells[i].Store(initial)
-	}
 	return o
 }
 
@@ -92,7 +110,12 @@ func (o *LockFree[V]) yield(p sched.Point, arg int) {
 	}
 }
 
-func (o *LockFree[V]) Components() int { return len(o.cells) }
+// Components returns the component count of the currently installed epoch.
+func (o *LockFree[V]) Components() int { return len(o.uni.Load().cells) }
+
+// Epoch returns the current universe's epoch number (0 at construction,
+// +1 per installed Grow/Shrink). Test and observability helper.
+func (o *LockFree[V]) Epoch() uint64 { return o.uni.Load().epoch }
 
 // Update writes vals[i] into component ids[i], as a sequence of per-
 // component atomic stores (see the package comment for batch semantics).
@@ -109,11 +132,15 @@ func (o *LockFree[V]) Update(ids []int, vals []V) error {
 // update stamped into every cell it wrote. Provenance-aware tests match the
 // id against ScanInfo.HelperOp and spec.Op.UpdateID.
 func (o *LockFree[V]) UpdateOp(ids []int, vals []V) (uint64, error) {
-	if err := validateArgs(len(o.cells), ids, vals); err != nil {
+	// Pin once: validation, the helping walk and the stores all run against
+	// this one epoch's shape. A resize installed after this load linearizes
+	// after this update (see epoch.go).
+	u := o.pin()
+	if err := validateArgs(len(u.cells), ids, vals); err != nil {
 		return 0, err
 	}
-	op := o.nextOp(ids)
-	o.helpIntersectingScans(ids, op)
+	op := o.nextOp(u, ids)
+	o.helpIntersectingScans(u, ids, op)
 	// One backing array for the whole batch: a multi-component update costs
 	// one allocation, not one per component. Pointer identity still
 	// distinguishes writes for the double collect — every batch is fresh
@@ -124,7 +151,7 @@ func (o *LockFree[V]) UpdateOp(ids []int, vals []V) (uint64, error) {
 	for i, id := range ids {
 		batch[i] = cell[V]{val: vals[i], op: op}
 		o.yield(sched.PreCellStore, id)
-		o.cells[id].Store(&batch[i])
+		u.cells[id].Store(&batch[i])
 	}
 	return op, nil
 }
@@ -150,7 +177,8 @@ type Stats struct {
 	// posted over the object's lifetime (0 = helping never recursed).
 	MaxHelpDepth int64 `json:"max_help_depth"`
 	// RegistryWalks counts updater walks of registry slots, one per
-	// (update, named component) pair.
+	// (update, named component) pair, summed across the current epoch's
+	// slots and the slots retired by Shrink.
 	RegistryWalks uint64 `json:"registry_walks"`
 	// RecordsVisited counts live records those walks encountered, one per
 	// (walk, enrollment) encounter. Under a workload partitioned over
@@ -166,9 +194,18 @@ type Stats struct {
 	// the slow-path announcement rate; the reuse tests use it to prove
 	// pooling is actually exercised.
 	RecordReuses uint64 `json:"record_reuses"`
+	// Epoch is the current universe's epoch number.
+	Epoch uint64 `json:"epoch"`
+	// EpochInstalls counts successfully installed universes (= Grows +
+	// Shrinks).
+	EpochInstalls uint64 `json:"epoch_installs"`
+	// Grows and Shrinks split EpochInstalls by direction.
+	Grows   uint64 `json:"grows"`
+	Shrinks uint64 `json:"shrinks"`
 }
 
 func (o *LockFree[V]) Stats() Stats {
+	u := o.uni.Load()
 	st := Stats{
 		ScanRetries:       o.scanRetries.Load(),
 		HelpsPosted:       o.helpsPosted.Load(),
@@ -177,27 +214,42 @@ func (o *LockFree[V]) Stats() Stats {
 		MaxHelpDepth:      o.maxDepth.Load(),
 		RecordsDeduped:    o.reg.deduped.Load(),
 		RecordReuses:      o.recReuses.Load(),
+		Epoch:             u.epoch,
+		EpochInstalls:     o.epochInstalls.Load(),
+		Grows:             o.grows.Load(),
+		Shrinks:           o.shrinks.Load(),
+		RegistryWalks:     o.retiredWalks.Load(),
+		RecordsVisited:    o.retiredVisited.Load(),
 	}
-	for c := range o.reg.slots {
-		st.RegistryWalks += o.reg.slots[c].walks.Load()
-		st.RecordsVisited += o.reg.slots[c].visited.Load()
+	for _, s := range u.slots {
+		st.RegistryWalks += s.walks.Load()
+		st.RecordsVisited += s.visited.Load()
 	}
 	return st
 }
 
-// SlotStats reports the registry activity of component c's slot: how many
-// updater walks consulted it and how many live records those walks
-// encountered. Locality tests sum these per component range to prove that
-// a partitioned workload performs zero cross-partition registry visits.
+// SlotStats reports the registry activity of component c's slot in the
+// current epoch: how many updater walks consulted it and how many live
+// records those walks encountered. Locality tests sum these per component
+// range to prove that a partitioned workload performs zero cross-partition
+// registry visits.
 func (o *LockFree[V]) SlotStats(c int) (walks, visited uint64) {
-	return o.reg.slots[c].walks.Load(), o.reg.slots[c].visited.Load()
+	s := o.uni.Load().slots[c]
+	return s.walks.Load(), s.visited.Load()
 }
 
-// registryLen counts enrollments currently linked across all slots,
-// retired-but-not-yet-unlinked ones included; a record enrolled in k slots
-// counts k times (test helper).
-func (o *LockFree[V]) registryLen() int { return o.reg.lenAll() }
+// registryLen counts enrollments currently linked across the current
+// epoch's slots, retired-but-not-yet-unlinked ones included; a record
+// enrolled in k slots counts k times (test helper).
+func (o *LockFree[V]) registryLen() int {
+	n := 0
+	u := o.uni.Load()
+	for c := range u.slots {
+		n += slotLen(u.slots[c])
+	}
+	return n
+}
 
-// slotLen counts enrollments currently linked in component c's slot (test
-// helper).
-func (o *LockFree[V]) slotLen(c int) int { return o.reg.slotLen(c) }
+// slotLen counts enrollments currently linked in component c's slot of the
+// current epoch (test helper).
+func (o *LockFree[V]) slotLen(c int) int { return slotLen(o.uni.Load().slots[c]) }

@@ -1,6 +1,7 @@
 package snapshot_test
 
 import (
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -26,21 +27,33 @@ func parityCfg(shape workload.Shape) workload.Config {
 	return cfg
 }
 
+// parityCounts tallies one implementation's completed work under a shape:
+// scans, updates, resizes, and — on resizing shapes only — operations the
+// object rejected with ErrBadComponent because they named a momentarily
+// shrunk component.
+type parityCounts struct {
+	Scans, Updates, Resizes, Rejects int
+}
+
 // runParityWorkload drives every worker's stream concurrently against obj
 // (run with -race), recording the history, and returns it with the op
-// counts.
-func runParityWorkload(t *testing.T, obj snapshot.Object[int64], gen *workload.Generator, opsPerWorker int) ([]spec.Op[int64], [2]int) {
+// counts. On resizing shapes, ErrBadComponent from an update or scan is
+// tolerated traffic (the op linearizes after the Shrink that removed its
+// component and is simply not recorded); resize failures are always fatal
+// because the single-churner discipline makes every resize well-formed.
+func runParityWorkload(t *testing.T, obj snapshot.Object[int64], gen *workload.Generator, opsPerWorker int) ([]spec.Op[int64], parityCounts) {
 	t.Helper()
 	rec := &spec.Recorder[int64]{}
 	lf, isLockFree := obj.(*snapshot.LockFree[int64])
+	tolerateRejects := gen.Config().Shape.Resizes()
 	var wg sync.WaitGroup
-	var counts [2]int // scans, updates
+	var counts parityCounts
 	var mu sync.Mutex
 	for w := 0; w < gen.Config().Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			scans, updates := 0, 0
+			var local parityCounts
 			for _, op := range gen.Ops(w, opsPerWorker) {
 				switch op.Kind {
 				case workload.OpUpdate:
@@ -53,10 +66,14 @@ func runParityWorkload(t *testing.T, obj snapshot.Object[int64], gen *workload.G
 						err = obj.Update(op.Comps, op.Vals)
 					}
 					if err != nil {
+						if tolerateRejects && errors.Is(err, snapshot.ErrBadComponent) {
+							local.Rejects++
+							continue
+						}
 						t.Errorf("worker %d: Update%v: %v", w, op.Comps, err)
 						return
 					}
-					updates++
+					local.Updates++
 					rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
 						Comps: op.Comps, Vals: op.Vals, UpdateID: id})
 				case workload.OpScan:
@@ -70,17 +87,43 @@ func runParityWorkload(t *testing.T, obj snapshot.Object[int64], gen *workload.G
 						vals, err = obj.PartialScan(op.Comps)
 					}
 					if err != nil {
+						if tolerateRejects && errors.Is(err, snapshot.ErrBadComponent) {
+							local.Rejects++
+							continue
+						}
 						t.Errorf("worker %d: PartialScan%v: %v", w, op.Comps, err)
 						return
 					}
-					scans++
+					local.Scans++
 					rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(),
 						Comps: op.Comps, Vals: vals, AdoptedFrom: info.HelperOp})
+				case workload.OpGrow:
+					start := rec.Now()
+					size, err := obj.Grow(op.Delta)
+					if err != nil {
+						t.Errorf("worker %d: Grow(%d): %v", w, op.Delta, err)
+						return
+					}
+					local.Resizes++
+					rec.Add(spec.Op[int64]{Kind: spec.Grow, Start: start, End: rec.Now(),
+						Delta: op.Delta, Size: size})
+				case workload.OpShrink:
+					start := rec.Now()
+					size, err := obj.Shrink(op.Delta)
+					if err != nil {
+						t.Errorf("worker %d: Shrink(%d): %v", w, op.Delta, err)
+						return
+					}
+					local.Resizes++
+					rec.Add(spec.Op[int64]{Kind: spec.Shrink, Start: start, End: rec.Now(),
+						Delta: op.Delta, Size: size})
 				}
 			}
 			mu.Lock()
-			counts[0] += scans
-			counts[1] += updates
+			counts.Scans += local.Scans
+			counts.Updates += local.Updates
+			counts.Resizes += local.Resizes
+			counts.Rejects += local.Rejects
 			mu.Unlock()
 		}(w)
 	}
@@ -102,7 +145,7 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 	for _, shape := range workload.Shapes() {
 		t.Run(string(shape), func(t *testing.T) {
 			cfg := parityCfg(shape)
-			countsByImpl := map[string][2]int{}
+			countsByImpl := map[string]parityCounts{}
 			for _, impl := range []string{"lockfree", "rwmutex"} {
 				t.Run(impl, func(t *testing.T) {
 					gen, err := workload.New(cfg)
@@ -143,6 +186,22 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 					if st.RegistryWalks == 0 {
 						t.Fatalf("%s updaters never consulted the registry: %+v", shape, st)
 					}
+					if shape.Resizes() {
+						// The single churner's resizes are deterministic, so
+						// the epoch counters must account for exactly the
+						// resizes the workload issued — no install may be
+						// lost or double-counted.
+						if got := st.Grows + st.Shrinks; got != uint64(counts.Resizes) {
+							t.Fatalf("%s: %d resizes issued but stats recorded %d installs: %+v",
+								shape, counts.Resizes, got, st)
+						}
+						if st.EpochInstalls != uint64(counts.Resizes) {
+							t.Fatalf("%s: epoch installs %d != resizes %d", shape, st.EpochInstalls, counts.Resizes)
+						}
+						if st.Epoch != uint64(counts.Resizes) {
+							t.Fatalf("%s: final epoch %d != resizes %d", shape, st.Epoch, counts.Resizes)
+						}
+					}
 					if shape == workload.Partitioned {
 						// Single-worker partitions: no announcement is ever
 						// live where a foreign (or even a concurrent own)
@@ -163,10 +222,23 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 				return
 			}
 			// Same generator, same seed ⇒ both implementations must have
-			// executed the identical operation mix.
-			if countsByImpl["lockfree"] != countsByImpl["rwmutex"] {
-				t.Fatalf("op mix diverged between implementations: lockfree %v, rwmutex %v",
-					countsByImpl["lockfree"], countsByImpl["rwmutex"])
+			// executed the identical operation mix. On resizing shapes,
+			// which ops get rejected depends on how each run's resizes
+			// interleave with the workers, so only the deterministic parts
+			// are comparable: the resize count and the total attempts.
+			lfc, rwc := countsByImpl["lockfree"], countsByImpl["rwmutex"]
+			if shape.Resizes() {
+				if lfc.Resizes != rwc.Resizes {
+					t.Fatalf("resize counts diverged: lockfree %d, rwmutex %d", lfc.Resizes, rwc.Resizes)
+				}
+				lfTotal := lfc.Scans + lfc.Updates + lfc.Resizes + lfc.Rejects
+				rwTotal := rwc.Scans + rwc.Updates + rwc.Resizes + rwc.Rejects
+				if want := cfg.Workers * opsPerWorker; lfTotal != want || rwTotal != want {
+					t.Fatalf("attempt totals diverged from the stream length %d: lockfree %d, rwmutex %d",
+						want, lfTotal, rwTotal)
+				}
+			} else if lfc != rwc {
+				t.Fatalf("op mix diverged between implementations: lockfree %v, rwmutex %v", lfc, rwc)
 			}
 		})
 	}
@@ -193,31 +265,84 @@ func TestParitySequentialSemantics(t *testing.T) {
 			for w := range streams {
 				streams[w] = gen.Ops(w, 100)
 			}
+			// outOfRange mirrors the dynamic-universe contract against the
+			// model's current size: an op naming a component at or beyond
+			// it must be rejected with ErrBadComponent by BOTH
+			// implementations — rejection parity is part of the semantics.
+			outOfRange := func(comps []int) bool {
+				for _, c := range comps {
+					if c >= model.Components() {
+						return true
+					}
+				}
+				return false
+			}
+			wantReject := func(kind string, comps []int, errA, errB error) {
+				t.Helper()
+				if !errors.Is(errA, snapshot.ErrBadComponent) || !errors.Is(errB, snapshot.ErrBadComponent) {
+					t.Fatalf("%s%v names a shrunk component (model size %d) but rejections diverged: lockfree %v, rwmutex %v",
+						kind, comps, model.Components(), errA, errB)
+				}
+			}
 			for k := 0; k < 100; k++ {
 				for w := 0; w < cfg.Workers; w++ {
 					op := streams[w][k]
 					switch op.Kind {
 					case workload.OpUpdate:
-						if err := lf.Update(op.Comps, op.Vals); err != nil {
-							t.Fatalf("lockfree Update%v: %v", op.Comps, err)
+						errA := lf.Update(op.Comps, op.Vals)
+						errB := rw.Update(op.Comps, op.Vals)
+						if outOfRange(op.Comps) {
+							wantReject("Update", op.Comps, errA, errB)
+							continue
 						}
-						if err := rw.Update(op.Comps, op.Vals); err != nil {
-							t.Fatalf("rwmutex Update%v: %v", op.Comps, err)
+						if errA != nil {
+							t.Fatalf("lockfree Update%v: %v", op.Comps, errA)
+						}
+						if errB != nil {
+							t.Fatalf("rwmutex Update%v: %v", op.Comps, errB)
 						}
 						model.Apply(op.Comps, op.Vals)
 					case workload.OpScan:
-						a, err := lf.PartialScan(op.Comps)
-						if err != nil {
-							t.Fatalf("lockfree PartialScan%v: %v", op.Comps, err)
+						a, errA := lf.PartialScan(op.Comps)
+						b, errB := rw.PartialScan(op.Comps)
+						if outOfRange(op.Comps) {
+							wantReject("PartialScan", op.Comps, errA, errB)
+							continue
 						}
-						b, err := rw.PartialScan(op.Comps)
-						if err != nil {
-							t.Fatalf("rwmutex PartialScan%v: %v", op.Comps, err)
+						if errA != nil {
+							t.Fatalf("lockfree PartialScan%v: %v", op.Comps, errA)
+						}
+						if errB != nil {
+							t.Fatalf("rwmutex PartialScan%v: %v", op.Comps, errB)
 						}
 						want := model.Read(op.Comps)
 						if !reflect.DeepEqual(a, want) || !reflect.DeepEqual(b, want) {
 							t.Fatalf("sequential scan diverged on %v: lockfree %v, rwmutex %v, model %v",
 								op.Comps, a, b, want)
+						}
+					case workload.OpGrow:
+						na, errA := lf.Grow(op.Delta)
+						nb, errB := rw.Grow(op.Delta)
+						nm, errM := model.Grow(op.Delta)
+						if errA != nil || errB != nil || errM != nil {
+							t.Fatalf("Grow(%d) errors diverged: lockfree %v, rwmutex %v, model %v",
+								op.Delta, errA, errB, errM)
+						}
+						if na != nm || nb != nm {
+							t.Fatalf("Grow(%d) sizes diverged: lockfree %d, rwmutex %d, model %d",
+								op.Delta, na, nb, nm)
+						}
+					case workload.OpShrink:
+						na, errA := lf.Shrink(op.Delta)
+						nb, errB := rw.Shrink(op.Delta)
+						nm, errM := model.Shrink(op.Delta)
+						if errA != nil || errB != nil || errM != nil {
+							t.Fatalf("Shrink(%d) errors diverged: lockfree %v, rwmutex %v, model %v",
+								op.Delta, errA, errB, errM)
+						}
+						if na != nm || nb != nm {
+							t.Fatalf("Shrink(%d) sizes diverged: lockfree %d, rwmutex %d, model %d",
+								op.Delta, na, nb, nm)
 						}
 					}
 				}

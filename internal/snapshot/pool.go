@@ -131,13 +131,14 @@ func (s *scriptedRecordPool[V]) len() int {
 }
 
 // acquireRecord returns a live record announcing ids at the given help
-// level, recycled from the pool when possible. Field reset order is part
-// of the reuse protocol: the generation bump comes first, so every stale
-// enrollment is invalidated before the done flag and the id set change
-// under it, and the pin count is published last, so the record only
-// becomes pinnable once fully initialised (the refs store is the
-// release/acquire edge walkers synchronise on).
-func (o *LockFree[V]) acquireRecord(ids []int, level int) *scanRecord[V] {
+// level, pinned to universe u, recycled from the pool when possible. Field
+// reset order is part of the reuse protocol: the generation bump comes
+// first, so every stale enrollment is invalidated before the done flag,
+// the id set and the universe change under it, and the pin count is
+// published last, so the record only becomes pinnable once fully
+// initialised (the refs store is the release/acquire edge walkers
+// synchronise on).
+func (o *LockFree[V]) acquireRecord(u *universe[V], ids []int, level int) *scanRecord[V] {
 	rec := o.records.get()
 	if rec == nil {
 		rec = &scanRecord[V]{}
@@ -150,17 +151,22 @@ func (o *LockFree[V]) acquireRecord(ids []int, level int) *scanRecord[V] {
 	rec.done.Store(false)
 	rec.ids = append(rec.ids[:0], ids...)
 	rec.level = level
+	rec.uni = u
 	rec.refs.Store(1)
 	return rec
 }
 
 // releaseRef drops one reference to rec; whoever drops the last one —
-// retiring owner or lingering helper — returns the record to the pool.
+// retiring owner or lingering helper — returns the record to the pool,
+// first dropping the record's universe reference so a pooled record does
+// not keep a retired epoch alive for the garbage collector (safe: a
+// zero-refs record is unpinnable, so nobody can still read rec.uni).
 // Under the unsafeEagerRelease mutation seam, retire pools directly and
 // stomps the count, so releases must never pool (a helper releasing after
 // the record was recycled would re-pool a live record).
 func (o *LockFree[V]) releaseRef(rec *scanRecord[V]) {
 	if rec.refs.Add(-1) == 0 && !o.unsafeEagerRelease {
+		rec.uni = nil
 		o.records.put(rec)
 	}
 }

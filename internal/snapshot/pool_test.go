@@ -26,7 +26,7 @@ func TestReuseStaleWalkerRejectsRecycledRecord(t *testing.T) {
 	ctl := sched.NewController()
 	o := NewLockFree[int64](2).Instrument(ctl)
 
-	r1 := o.acquireRecord([]int{0, 1}, 0)
+	r1 := o.acquireRecord(o.uni.Load(), []int{0, 1}, 0)
 	o.announce(r1)
 
 	ctl.Spawn("walker", func() {
@@ -41,7 +41,7 @@ func TestReuseStaleWalkerRejectsRecycledRecord(t *testing.T) {
 	// Retire r1 out from under the parked walker and recycle it for a scan
 	// that names only component 1.
 	o.retire(r1)
-	r2 := o.acquireRecord([]int{1}, 0)
+	r2 := o.acquireRecord(o.uni.Load(), []int{1}, 0)
 	if r2 != r1 {
 		t.Fatal("expected the retired record to be recycled")
 	}
@@ -89,7 +89,7 @@ func TestReuseBlockedWhileHelperPinned(t *testing.T) {
 	o := NewLockFree[int64](2).Instrument(ctl)
 	pool := o.records.(*scriptedRecordPool[int64])
 
-	r1 := o.acquireRecord([]int{0, 1}, 0)
+	r1 := o.acquireRecord(o.uni.Load(), []int{0, 1}, 0)
 	o.announce(r1)
 
 	// The helper pins r1 during its slot walk and parks just before its
@@ -109,7 +109,7 @@ func TestReuseBlockedWhileHelperPinned(t *testing.T) {
 	if n := pool.len(); n != 0 {
 		t.Fatalf("pool holds %d records while a helper is pinned, want 0", n)
 	}
-	r2 := o.acquireRecord([]int{0}, 0)
+	r2 := o.acquireRecord(o.uni.Load(), []int{0}, 0)
 	if r2 == r1 {
 		t.Fatal("record recycled while a helper still held it")
 	}
@@ -121,7 +121,7 @@ func TestReuseBlockedWhileHelperPinned(t *testing.T) {
 	if n := pool.len(); n != 1 {
 		t.Fatalf("pool holds %d records after the last pin dropped, want 1", n)
 	}
-	r3 := o.acquireRecord([]int{1}, 0)
+	r3 := o.acquireRecord(o.uni.Load(), []int{1}, 0)
 	if r3 != r1 {
 		t.Fatal("record not recycled after the last pin dropped")
 	}

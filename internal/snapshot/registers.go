@@ -39,16 +39,20 @@ type paddedUint64 struct {
 // modulo would instead alias ranges n/opShards apart onto the same
 // shards). The shard index rides in the low bits, keeping ids unique
 // across shards, and every id is >= opShards, so 0 still means "initial
-// value".
-func (o *LockFree[V]) nextOp(ids []int) uint64 {
-	shard := uint64(ids[0]) * opShards / uint64(len(o.cells))
+// value". Scaling uses the pinned epoch's size, so shard choice is stable
+// within the operation regardless of concurrent resizes.
+func (o *LockFree[V]) nextOp(u *universe[V], ids []int) uint64 {
+	shard := uint64(ids[0]) * opShards / uint64(len(u.cells))
 	return o.ops[shard].v.Add(1)<<6 | shard
 }
 
-// collect loads the current cell of every component in ids, in order.
-func (o *LockFree[V]) collect(ids []int, into []*cell[V]) {
+// collect loads the current cell of every component in ids, in order,
+// through this universe's view of the register array. Surviving components
+// alias their cells across epochs, so a collect through an old epoch still
+// observes writes made through newer ones.
+func (u *universe[V]) collect(ids []int, into []*cell[V]) {
 	for i, id := range ids {
-		into[i] = o.cells[id].Load()
+		into[i] = u.cells[id].Load()
 	}
 }
 

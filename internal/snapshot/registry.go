@@ -76,9 +76,13 @@ type slot[V any] struct {
 	_       [104]byte
 }
 
-// registry is the sharded announcement registry: one slot per component.
+// registry is the announcement bookkeeping shared by every epoch. The
+// slots themselves live in the universe (one per component of each epoch,
+// aliased across epochs for surviving components — see epoch.go); an
+// enrolling record carries the universe it pinned, so enroll and walkSlot
+// always address slots through an explicit epoch, never through the
+// object's current pointer.
 type registry[V any] struct {
-	slots   []slot[V]
 	live    atomic.Int64  // records enrolled and not yet retired
 	deduped atomic.Uint64 // walk encounters skipped as already seen
 
@@ -97,19 +101,15 @@ type registry[V any] struct {
 	release func(rec *scanRecord[V])
 }
 
-func newRegistry[V any](n int) registry[V] {
-	return registry[V]{slots: make([]slot[V], n)}
-}
-
-// enroll links rec into the slot of every component it names, in the
-// record's id order, opportunistically unlinking retired enrollments at
-// each slot head.
+// enroll links rec into the slot of every component it names — in the
+// epoch rec pinned (rec.uni), in the record's id order — opportunistically
+// unlinking retired enrollments at each slot head.
 func (r *registry[V]) enroll(rec *scanRecord[V]) {
 	r.live.Add(1)
 	gen := rec.gen.Load() // stable: the enrolling owner holds a reference
 	for _, c := range rec.ids {
 		e := &enrollment[V]{rec: rec, gen: gen}
-		s := &r.slots[c]
+		s := rec.uni.slots[c]
 		for {
 			head := s.head.Load()
 			if head != nil && head.stale() {
@@ -146,8 +146,7 @@ func (r *registry[V]) retire(rec *scanRecord[V]) {
 // therefore cannot be recycled into a different scan — while the caller
 // helps it. The newest-first order serves the deepest records of any help
 // chain before the records that wait on them.
-func (r *registry[V]) walkSlot(c int, visit func(rec *scanRecord[V], gen uint64)) {
-	s := &r.slots[c]
+func (r *registry[V]) walkSlot(s *slot[V], c int, visit func(rec *scanRecord[V], gen uint64)) {
 	s.walks.Add(1)
 	cur := s.head.Load()
 	if cur == nil {
@@ -189,22 +188,12 @@ func (r *registry[V]) walkSlot(c int, visit func(rec *scanRecord[V], gen uint64)
 	}
 }
 
-// slotLen counts enrollments currently linked in component c's slot,
+// slotLen counts enrollments currently linked in a slot,
 // retired-but-not-yet-unlinked ones included (test helper).
-func (r *registry[V]) slotLen(c int) int {
+func slotLen[V any](s *slot[V]) int {
 	n := 0
-	for cur := r.slots[c].head.Load(); cur != nil; cur = cur.next.Load() {
+	for cur := s.head.Load(); cur != nil; cur = cur.next.Load() {
 		n++
-	}
-	return n
-}
-
-// lenAll counts enrollments linked across all slots; a record enrolled in
-// k slots counts k times (test helper).
-func (r *registry[V]) lenAll() int {
-	n := 0
-	for c := range r.slots {
-		n += r.slotLen(c)
 	}
 	return n
 }

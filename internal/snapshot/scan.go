@@ -26,10 +26,16 @@ import (
 type scanRecord[V any] struct {
 	ids   []int // announced components, in the scanner's order
 	level int   // help-chain depth of this record
-	help  atomic.Pointer[helpView[V]]
-	done  atomic.Bool
-	gen   atomic.Uint64 // incarnation count; enrollments capture it
-	refs  atomic.Int64  // owner + pinned walkers; 0 = poolable
+	// uni is the universe the announcing operation pinned. Enrollment
+	// addresses slots through it, and helpers collect — and chain their own
+	// records — through it, so a whole help chain runs against one epoch's
+	// shape. Cleared when the record is pooled, so a free record does not
+	// pin a retired universe for the garbage collector.
+	uni  *universe[V]
+	help atomic.Pointer[helpView[V]]
+	done atomic.Bool
+	gen  atomic.Uint64 // incarnation count; enrollments capture it
+	refs atomic.Int64  // owner + pinned walkers; 0 = poolable
 }
 
 // announce enrolls rec in the registry slot of each component it names.
@@ -86,8 +92,17 @@ func (o *LockFree[V]) PartialScan(ids []int) ([]V, error) {
 // PartialScanInfo is PartialScan, additionally reporting how the scan
 // completed.
 func (o *LockFree[V]) PartialScanInfo(ids []int) ([]V, ScanInfo, error) {
+	// Pin once: validation, every collect and any announcement run against
+	// this one epoch's shape. A resize installed after this load linearizes
+	// after this scan (see epoch.go).
+	return o.scanPinned(o.pin(), ids)
+}
+
+// scanPinned is the body of PartialScanInfo, running entirely against the
+// already-pinned universe u.
+func (o *LockFree[V]) scanPinned(u *universe[V], ids []int) ([]V, ScanInfo, error) {
 	var info ScanInfo
-	if err := validateIDs(len(o.cells), ids); err != nil {
+	if err := validateIDs(len(u.cells), ids); err != nil {
 		return nil, info, err
 	}
 	bufs := o.getBufs(len(ids))
@@ -96,22 +111,22 @@ func (o *LockFree[V]) PartialScanInfo(ids []int) ([]V, ScanInfo, error) {
 	// Fast path: an uncontended scan needs no announcement, and with the
 	// pooled buffers its only allocation is the result slice the caller
 	// keeps.
-	o.collect(ids, a)
+	u.collect(ids, a)
 	o.yield(sched.PostFirstCollect, 0)
-	o.collect(ids, b)
+	u.collect(ids, b)
 	if sameCells(a, b) {
 		return cellVals(b), info, nil
 	}
 	o.scanRetries.Add(1)
 	info.Retries++
-	rec := o.acquireRecord(ids, 0)
+	rec := o.acquireRecord(u, ids, 0)
 	o.announce(rec)
 	defer o.retire(rec)
 	o.yield(sched.PostAnnounce, 0)
 	for {
-		o.collect(rec.ids, a)
+		u.collect(rec.ids, a)
 		o.yield(sched.PostFirstCollect, 0)
-		o.collect(rec.ids, b)
+		u.collect(rec.ids, b)
 		if sameCells(a, b) {
 			return cellVals(b), info, nil
 		}
@@ -131,5 +146,11 @@ func (o *LockFree[V]) PartialScanInfo(ids []int) ([]V, ScanInfo, error) {
 	}
 }
 
-// Scan is PartialScan over every component.
-func (o *LockFree[V]) Scan() ([]V, error) { return o.PartialScan(o.all) }
+// Scan is PartialScan over every component. It pins the epoch once and
+// scans that epoch's full component set, so a concurrent resize can neither
+// tear the id set nor fail validation under it.
+func (o *LockFree[V]) Scan() ([]V, error) {
+	u := o.pin()
+	vals, _, err := o.scanPinned(u, u.all)
+	return vals, err
+}

@@ -48,12 +48,20 @@ import (
 
 // ErrBadComponent is returned (wrapped, with detail) when a component-ID
 // set handed to Update or PartialScan is empty, contains an out-of-range
-// ID, contains duplicates, or does not match the number of values.
+// ID, contains duplicates, or does not match the number of values. Under a
+// dynamic universe "out of range" means out of range of the epoch the
+// operation ran against — an id that was valid before a concurrent Shrink
+// may draw this error, and that rejection linearizes after the Shrink.
 var ErrBadComponent = errors.New("snapshot: bad component set")
+
+// ErrBadResize is returned (wrapped, with detail) when a Grow or Shrink
+// amount is not positive, or a Shrink would remove every component.
+var ErrBadResize = errors.New("snapshot: bad resize")
 
 // Object is the partial snapshot API shared by all implementations.
 type Object[V any] interface {
-	// Components returns n, the number of components in the object.
+	// Components returns n, the number of components in the object
+	// (the current epoch's count, for resizable implementations).
 	Components() int
 	// Update atomically writes vals[i] to component ids[i] for each i.
 	// Each component write is individually linearizable; see the package
@@ -65,6 +73,15 @@ type Object[V any] interface {
 	PartialScan(ids []int) ([]V, error)
 	// Scan is PartialScan over every component.
 	Scan() ([]V, error)
+	// Grow appends k fresh components, each initialised to the zero value
+	// of V, and returns the new component count. Linearizable: operations
+	// ordered after it see — and may name — the new components.
+	Grow(k int) (int, error)
+	// Shrink removes the k highest-numbered components and returns the new
+	// component count. At least one component must survive. Operations
+	// ordered after it get ErrBadComponent for the removed ids, and a
+	// later Grow re-creates them zero-valued, never with their old values.
+	Shrink(k int) (int, error)
 }
 
 // maxBitmaskComponents bounds the stack-allocated duplicate bitmask in

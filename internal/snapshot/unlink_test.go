@@ -22,7 +22,7 @@ func TestUnlinkRaceTwoWalkersSameEnrollment(t *testing.T) {
 	o := NewLockFree[int64](2).Instrument(ctl)
 
 	// One retired enrollment sits at the head of slot 0.
-	rec := o.acquireRecord([]int{0}, 0)
+	rec := o.acquireRecord(o.uni.Load(), []int{0}, 0)
 	o.announce(rec)
 	o.retire(rec)
 	if n := o.slotLen(0); n != 1 {
@@ -79,14 +79,14 @@ func TestUnlinkRaceAgainstEnroller(t *testing.T) {
 	ctl := sched.NewController()
 	o := NewLockFree[int64](2).Instrument(ctl)
 
-	old := o.acquireRecord([]int{0}, 0)
+	old := o.acquireRecord(o.uni.Load(), []int{0}, 0)
 	o.announce(old)
 	o.retire(old)
 
 	// The retired record is back in the pool, so this acquire recycles it:
 	// the old enrollment is now stale by generation, not by done flag, and
 	// the cleanups below exercise the generation-mismatch unlink path.
-	fresh := o.acquireRecord([]int{0}, 0)
+	fresh := o.acquireRecord(o.uni.Load(), []int{0}, 0)
 	if fresh != old {
 		t.Fatalf("expected the retired record to be recycled for the fresh announcement")
 	}

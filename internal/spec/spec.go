@@ -2,8 +2,12 @@
 // object and a linearizability-style checker that replays recorded
 // concurrent histories against it.
 //
-// The sequential model is an array of n components: Update assigns, Scan
-// reads. For sequential (non-overlapping) histories, CheckSequential
+// The sequential model is an array of components: Update assigns, Scan
+// reads, and the array is dynamic — Grow appends zero-valued components,
+// Shrink drops the highest-numbered ones — so resizes are part of the
+// checked history, not out-of-band events (a Grow acts as a pseudo-write
+// of zero to the components it creates; see Check). For sequential
+// (non-overlapping) histories, CheckSequential
 // replays the model exactly. For concurrent histories, Check verifies the
 // atomic-cut property the implementation promises: for every scan there
 // must exist an instant t inside the scan's interval at which every
@@ -30,6 +34,19 @@ const (
 	Update Kind = iota
 	// Scan is a partial scan that observed Vals[i] on component Comps[i].
 	Scan
+	// Grow appended Delta fresh zero-valued components, leaving Size
+	// components. For the checker a Grow is a pseudo-write of the zero
+	// value to each component in [Size-Delta, Size): that is exactly what
+	// the operation does at its linearization point, and it is what makes
+	// a zero observed on a shrunk-and-regrown component admissible again
+	// after real writes to the component's previous life completed.
+	Grow
+	// Shrink removed the Delta highest-numbered components, leaving Size.
+	// It writes nothing: operations pinned before it may still observe the
+	// removed components' old values (they linearize before the Shrink),
+	// and operations after it are rejected by the implementation before
+	// reaching the history.
+	Shrink
 )
 
 // Op is one completed operation in a recorded history. Start and End are
@@ -51,6 +68,12 @@ type Op[V comparable] struct {
 	// posted view the scan returned; 0 = the scan completed by its own
 	// double collect. Checked by CheckProvenance.
 	AdoptedFrom uint64
+
+	// Delta, on Grow/Shrink ops, is the resize amount (components added or
+	// removed); Size is the component count the resize reported, i.e. the
+	// count immediately after its linearization point.
+	Delta int
+	Size  int
 }
 
 // Model is the sequential partial snapshot: a plain array of components.
@@ -79,6 +102,28 @@ func (m *Model[V]) Read(comps []int) []V {
 		out[i] = m.vals[c]
 	}
 	return out
+}
+
+// Grow performs a sequential Grow: k fresh zero-valued components are
+// appended and the new count returned. Mirrors snapshot.Object.Grow.
+func (m *Model[V]) Grow(k int) (int, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("spec: bad resize: grow by %d components", k)
+	}
+	m.vals = append(m.vals, make([]V, k)...)
+	return len(m.vals), nil
+}
+
+// Shrink performs a sequential Shrink of the k highest-numbered components;
+// at least one must survive. Mirrors snapshot.Object.Shrink.
+func (m *Model[V]) Shrink(k int) (int, error) {
+	if k <= 0 || k >= len(m.vals) {
+		return 0, fmt.Errorf("spec: bad resize: shrink by %d of %d components", k, len(m.vals))
+	}
+	vals := make([]V, len(m.vals)-k)
+	copy(vals, m.vals[:len(m.vals)-k])
+	m.vals = vals
+	return len(m.vals), nil
 }
 
 // Recorder accumulates a concurrent history. Concurrent goroutines draw
@@ -137,6 +182,22 @@ func CheckSequential[V comparable](n int, ops []Op[V]) error {
 						i, op.Vals[j], op.Comps[j], want[j])
 				}
 			}
+		case Grow:
+			size, err := m.Grow(op.Delta)
+			if err != nil {
+				return fmt.Errorf("spec: sequential grow %d: %w", i, err)
+			}
+			if op.Size != 0 && op.Size != size {
+				return fmt.Errorf("spec: sequential grow %d reported %d components, model has %d", i, op.Size, size)
+			}
+		case Shrink:
+			size, err := m.Shrink(op.Delta)
+			if err != nil {
+				return fmt.Errorf("spec: sequential shrink %d: %w", i, err)
+			}
+			if op.Size != 0 && op.Size != size {
+				return fmt.Errorf("spec: sequential shrink %d reported %d components, model has %d", i, op.Size, size)
+			}
 		}
 	}
 	return nil
@@ -158,26 +219,49 @@ type write[V comparable] struct {
 // write on the same component definitely landed after w and completed
 // before t. The zero value of V is additionally plausible until the first
 // write on the component has definitely completed.
+//
+// The component universe is dynamic: n is the initial count, and recorded
+// Grow ops raise the checker's id limit to the largest universe any resize
+// reported. A Grow contributes a pseudo-write of the zero value to each
+// component it created (that is its effect at its linearization point), so
+// a zero observed after a shrink-and-regrow is admissible exactly when some
+// instant places the scan after the Grow and before any later real write.
+// Shrinks never lower the limit — a scan pinned to a pre-Shrink epoch may
+// legitimately still observe since-removed components.
 func Check[V comparable](n int, ops []Op[V]) error {
-	perComp := make([][]write[V], n)
+	limit := n
 	for _, op := range ops {
-		if op.Kind != Update {
-			continue
+		if (op.Kind == Grow || op.Kind == Shrink) && op.Size > limit {
+			limit = op.Size
 		}
-		if len(op.Vals) != len(op.Comps) {
-			return fmt.Errorf("spec: malformed update op: %d values for %d components", len(op.Vals), len(op.Comps))
-		}
-		for i, c := range op.Comps {
-			if c < 0 || c >= n {
-				return fmt.Errorf("spec: update names component %d out of range [0,%d)", c, n)
+	}
+	var zero V
+	perComp := make([][]write[V], limit)
+	for _, op := range ops {
+		switch op.Kind {
+		case Update:
+			if len(op.Vals) != len(op.Comps) {
+				return fmt.Errorf("spec: malformed update op: %d values for %d components", len(op.Vals), len(op.Comps))
 			}
-			perComp[c] = append(perComp[c], write[V]{start: op.Start, end: op.End, val: op.Vals[i]})
+			for i, c := range op.Comps {
+				if c < 0 || c >= limit {
+					return fmt.Errorf("spec: update names component %d out of range [0,%d)", c, limit)
+				}
+				perComp[c] = append(perComp[c], write[V]{start: op.Start, end: op.End, val: op.Vals[i]})
+			}
+		case Grow:
+			if op.Delta <= 0 || op.Size-op.Delta < 0 || op.Size > limit {
+				return fmt.Errorf("spec: malformed grow op: delta %d size %d (limit %d)", op.Delta, op.Size, limit)
+			}
+			for c := op.Size - op.Delta; c < op.Size; c++ {
+				perComp[c] = append(perComp[c], write[V]{start: op.Start, end: op.End, val: zero})
+			}
 		}
 	}
 	// Sort each component's writes by start and precompute the suffix
 	// minimum of end times, so "earliest definite overwrite after w" is a
 	// binary search away.
-	sufMinEnd := make([][]int64, n)
+	sufMinEnd := make([][]int64, limit)
 	for c := range perComp {
 		ws := perComp[c]
 		sort.Slice(ws, func(i, j int) bool { return ws[i].start < ws[j].start })
@@ -188,7 +272,6 @@ func Check[V comparable](n int, ops []Op[V]) error {
 		}
 		sufMinEnd[c] = suf
 	}
-	var zero V
 	for si, op := range ops {
 		if op.Kind != Scan {
 			continue
@@ -200,8 +283,8 @@ func Check[V comparable](n int, ops []Op[V]) error {
 		// candidate write of the observed value), clipped to the scan.
 		cands := make([][]interval, len(op.Comps))
 		for i, c := range op.Comps {
-			if c < 0 || c >= n {
-				return fmt.Errorf("spec: scan names component %d out of range [0,%d)", c, n)
+			if c < 0 || c >= limit {
+				return fmt.Errorf("spec: scan names component %d out of range [0,%d)", c, limit)
 			}
 			v := op.Vals[i]
 			var ivs []interval

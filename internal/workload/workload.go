@@ -41,11 +41,34 @@ const (
 	// shape that keeps announcements live and forces updaters through the
 	// helping path.
 	ScanHeavy Shape = "scan-heavy"
+	// Churn runs uniform-style traffic over a breathing universe: worker 0
+	// interleaves alternating Grow/Shrink ops (every ResizeEvery-th op) that
+	// oscillate the component count between n and n+flex, flex =
+	// max(1, n/4), while every worker's component picks spread over base and
+	// flex zone in proportion to their sizes. Operations naming a
+	// momentarily-shrunk component are rejected by the object
+	// (ErrBadComponent) — consumers of resizing shapes must tolerate that.
+	Churn Shape = "churn"
+	// FlashCrowd is Churn with the traffic rushing the moving frontier:
+	// 80% of operations pick only from the flex zone, the
+	// hotspot-migration shape where scans and updates pile onto components
+	// that keep appearing and disappearing under them.
+	FlashCrowd Shape = "flash-crowd"
 )
 
 // Shapes lists every named shape, in the order test matrices iterate them.
 func Shapes() []Shape {
-	return []Shape{Uniform, Zipfian, Partitioned, BatchHeavy, ScanHeavy}
+	return []Shape{Uniform, Zipfian, Partitioned, BatchHeavy, ScanHeavy, Churn, FlashCrowd}
+}
+
+// Resizes reports whether the shape emits Grow/Shrink operations over a
+// moving component universe.
+func (s Shape) Resizes() bool { return s == Churn || s == FlashCrowd }
+
+// Flex returns the resize amplitude of a resizing shape over an n-component
+// base universe: Grow and Shrink ops move the count between n and n+Flex(n).
+func Flex(n int) int {
+	return max(1, n/4)
 }
 
 // zipfSkew is the rank exponent of the Zipfian shape (s in rand.NewZipf;
@@ -67,6 +90,11 @@ type Config struct {
 	// ScanFrac is the fraction of operations that are scans, in [0,1];
 	// any negative value selects the shape default.
 	ScanFrac float64 `json:"scan_frac"`
+	// ResizeEvery, on resizing shapes, makes every ResizeEvery-th op of
+	// worker 0 (the sole churner) a Grow or Shrink, alternating, so resizes
+	// never race each other and always succeed (0 = the shape default of 4).
+	// Non-resizing shapes must leave it 0.
+	ResizeEvery int `json:"resize_every,omitempty"`
 	// Seed determines every stream: identical configs yield identical
 	// per-worker operation sequences.
 	Seed int64 `json:"seed"`
@@ -132,6 +160,16 @@ func (c Config) Validate() (Config, error) {
 	if c.ScanFrac > 1 {
 		return c, fmt.Errorf("workload: scan fraction %v out of range [0,1]", c.ScanFrac)
 	}
+	if c.ResizeEvery < 0 {
+		return c, fmt.Errorf("workload: resize interval must be non-negative, got %d", c.ResizeEvery)
+	}
+	if c.Shape.Resizes() {
+		if c.ResizeEvery == 0 {
+			c.ResizeEvery = 4
+		}
+	} else if c.ResizeEvery != 0 {
+		return c, fmt.Errorf("workload: shape %s does not resize, but resize interval %d was set", c.Shape, c.ResizeEvery)
+	}
 	pool := c.Components
 	if c.Shape == Partitioned {
 		pool = c.Components / c.Workers
@@ -153,6 +191,10 @@ const (
 	OpUpdate Kind = iota
 	// OpScan partially scans Comps.
 	OpScan
+	// OpGrow appends Delta fresh components (resizing shapes only).
+	OpGrow
+	// OpShrink removes the Delta highest components (resizing shapes only).
+	OpShrink
 )
 
 // Op is one generated operation. Comps and Vals alias the stream's
@@ -163,11 +205,13 @@ type Op struct {
 	Kind  Kind
 	Comps []int
 	Vals  []int64
+	// Delta is the resize amount of OpGrow/OpShrink ops (0 otherwise).
+	Delta int
 }
 
 // Clone returns an Op with freshly allocated slices, safe to retain.
 func (op Op) Clone() Op {
-	out := Op{Kind: op.Kind, Comps: append([]int(nil), op.Comps...)}
+	out := Op{Kind: op.Kind, Comps: append([]int(nil), op.Comps...), Delta: op.Delta}
 	if op.Vals != nil {
 		out.Vals = append([]int64(nil), op.Vals...)
 	}
@@ -234,6 +278,13 @@ func (g *Generator) Stream(worker int) *Stream {
 	if c.Shape == Zipfian {
 		s.zipf = rand.NewZipf(rng, zipfSkew, 1, uint64(n-1))
 	}
+	if c.Shape.Resizes() {
+		f := Flex(c.Components)
+		s.flexPool = make([]int, f)
+		for i := range s.flexPool {
+			s.flexPool[i] = c.Components + i
+		}
+	}
 	return s
 }
 
@@ -250,19 +301,37 @@ func (g *Generator) Ops(worker, n int) []Op {
 
 // Stream is one worker's deterministic operation sequence.
 type Stream struct {
-	cfg    Config
-	worker int
-	rng    *rand.Rand
-	zipf   *rand.Zipf
-	pool   []int // permutation of the worker's component pool
-	comps  []int // reused Op.Comps buffer
-	vals   []int64
-	seq    int
+	cfg      Config
+	worker   int
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	pool     []int // permutation of the worker's component pool
+	flexPool []int // resizing shapes: permutation of the flex zone [n, n+flex)
+	comps    []int // reused Op.Comps buffer
+	vals     []int64
+	seq      int
+	opIdx    int  // ops emitted so far (drives the churner's resize cadence)
+	grown    bool // churner parity: true = flex zone present, next resize shrinks
 }
 
 // Next returns the stream's next operation. The returned slices are
 // reused; see Op.
 func (s *Stream) Next() Op {
+	if s.cfg.Shape.Resizes() && s.worker == 0 {
+		// Worker 0 is the sole churner: resizes never race each other, so
+		// the alternating Grow/Shrink always succeeds and the component
+		// count deterministically oscillates between n and n+flex.
+		s.opIdx++
+		if s.opIdx%s.cfg.ResizeEvery == 0 {
+			delta := Flex(s.cfg.Components)
+			if s.grown {
+				s.grown = false
+				return Op{Kind: OpShrink, Delta: delta}
+			}
+			s.grown = true
+			return Op{Kind: OpGrow, Delta: delta}
+		}
+	}
 	if s.rng.Float64() < s.cfg.ScanFrac {
 		return Op{Kind: OpScan, Comps: s.pick(s.cfg.ScanWidth)}
 	}
@@ -278,6 +347,9 @@ func (s *Stream) Next() Op {
 // pick fills the comps buffer with k distinct components from the
 // worker's pool, per the shape's distribution.
 func (s *Stream) pick(k int) []int {
+	if s.flexPool != nil {
+		return s.pickCrowd(k)
+	}
 	if s.zipf != nil {
 		return s.pickZipf(k)
 	}
@@ -289,6 +361,35 @@ func (s *Stream) pick(k int) []int {
 		s.pool[i], s.pool[j] = s.pool[j], s.pool[i]
 	}
 	return append(s.comps[:0], s.pool[:k]...)
+}
+
+// pickCrowd draws k distinct components for the resizing shapes: each op
+// commits to one zone — the stable base universe [0, n) or the flex zone
+// [n, n+flex) that the churner keeps creating and destroying — and picks
+// uniformly within it. Churn selects zones in proportion to their sizes
+// (uniform over the grown universe in expectation); FlashCrowd sends 80%
+// of traffic to the flex zone. Flex-zone ops are clamped to the zone's
+// width, and they deliberately do NOT track the churner's current parity:
+// an op naming a momentarily-absent component is the shape's point, and
+// the object rejects it with ErrBadComponent.
+func (s *Stream) pickCrowd(k int) []int {
+	bias := float64(len(s.flexPool)) / float64(len(s.pool)+len(s.flexPool))
+	if s.cfg.Shape == FlashCrowd {
+		bias = 0.8
+	}
+	pool := s.pool
+	if s.rng.Float64() < bias {
+		pool = s.flexPool
+		if k > len(pool) {
+			k = len(pool)
+		}
+	}
+	n := len(pool)
+	for i := 0; i < k; i++ {
+		j := i + s.rng.Intn(n-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return append(s.comps[:0], pool[:k]...)
 }
 
 // pickZipf draws k distinct components with Zipf-distributed ranks over

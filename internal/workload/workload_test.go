@@ -48,9 +48,26 @@ func TestOpsAreWellFormed(t *testing.T) {
 				t.Fatal(err)
 			}
 			cfg := g.Config()
-			scans, updates := 0, 0
+			// Resizing shapes draw from the grown universe [0, n+flex) and
+			// clamp flex-zone ops to the zone's width.
+			limit, flex := cfg.Components, 0
+			if cfg.Shape.Resizes() {
+				flex = Flex(cfg.Components)
+				limit += flex
+			}
+			scans, updates, resizes := 0, 0, 0
 			for w := 0; w < cfg.Workers; w++ {
 				for _, op := range g.Ops(w, 200) {
+					if op.Kind == OpGrow || op.Kind == OpShrink {
+						resizes++
+						if w != 0 {
+							t.Fatalf("worker %d emitted a resize; only worker 0 churns", w)
+						}
+						if op.Delta != flex || len(op.Comps) != 0 || len(op.Vals) != 0 {
+							t.Fatalf("malformed resize op %+v, want delta %d and no components", op, flex)
+						}
+						continue
+					}
 					want := cfg.UpdateWidth
 					if op.Kind == OpScan {
 						want = cfg.ScanWidth
@@ -66,13 +83,20 @@ func TestOpsAreWellFormed(t *testing.T) {
 							}
 						}
 					}
+					inFlex := len(op.Comps) > 0 && op.Comps[0] >= cfg.Components
+					if inFlex && want > flex {
+						want = flex
+					}
 					if len(op.Comps) != want {
 						t.Fatalf("%v op width %d, want %d", op.Kind, len(op.Comps), want)
 					}
 					seen := map[int]bool{}
 					for _, c := range op.Comps {
-						if c < 0 || c >= cfg.Components {
-							t.Fatalf("component %d out of range [0,%d)", c, cfg.Components)
+						if c < 0 || c >= limit {
+							t.Fatalf("component %d out of range [0,%d)", c, limit)
+						}
+						if inFlex != (c >= cfg.Components) {
+							t.Fatalf("op %v mixes base and flex zones", op.Comps)
 						}
 						if seen[c] {
 							t.Fatalf("duplicate component %d in %v", c, op.Comps)
@@ -83,6 +107,15 @@ func TestOpsAreWellFormed(t *testing.T) {
 			}
 			if scans == 0 || updates == 0 {
 				t.Fatalf("shape %s generated %d scans / %d updates, want a mix", shape, scans, updates)
+			}
+			if cfg.Shape.Resizes() {
+				// Worker 0 emitted 200 ops at the default cadence of 4:
+				// exactly 50 resizes, alternating grow-first.
+				if resizes != 200/cfg.ResizeEvery {
+					t.Fatalf("shape %s generated %d resizes, want %d", shape, resizes, 200/cfg.ResizeEvery)
+				}
+			} else if resizes != 0 {
+				t.Fatalf("shape %s generated %d resizes, want none", shape, resizes)
 			}
 		})
 	}
@@ -176,6 +209,9 @@ func TestValidateRejects(t *testing.T) {
 		// narrow for a scan width of 4.
 		{Shape: Partitioned, Components: 8, Workers: 4, ScanWidth: 4, ScanFrac: -1},
 		{Shape: Partitioned, Components: 3, Workers: 4, ScanFrac: -1},
+		// Resize cadence on a fixed-universe shape, and a negative cadence.
+		{Shape: Uniform, Components: 8, Workers: 1, ResizeEvery: 4, ScanFrac: -1},
+		{Shape: Churn, Components: 8, Workers: 1, ResizeEvery: -1, ScanFrac: -1},
 	}
 	for i, cfg := range bad {
 		cfg.Seed = 1
@@ -202,10 +238,69 @@ func TestValueEncoding(t *testing.T) {
 	}
 }
 
+// TestChurnerAlternatesResizes: worker 0 of a resizing shape emits a
+// resize every ResizeEvery-th op, grow first and strictly alternating, so
+// the component count oscillates between n and n+flex and every resize
+// succeeds (no other worker resizes).
+func TestChurnerAlternatesResizes(t *testing.T) {
+	g, err := New(Config{Shape: Churn, Components: 16, Workers: 2, ResizeEvery: 3, ScanFrac: -1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGrow := true
+	for i, op := range g.Ops(0, 60) {
+		isResize := op.Kind == OpGrow || op.Kind == OpShrink
+		if wantIt := (i+1)%3 == 0; isResize != wantIt {
+			t.Fatalf("op %d: resize = %v, want %v", i, isResize, wantIt)
+		}
+		if !isResize {
+			continue
+		}
+		if wantGrow != (op.Kind == OpGrow) {
+			t.Fatalf("op %d: kind %v breaks the grow/shrink alternation", i, op.Kind)
+		}
+		wantGrow = !wantGrow
+	}
+	for _, op := range g.Ops(1, 60) {
+		if op.Kind == OpGrow || op.Kind == OpShrink {
+			t.Fatal("worker 1 emitted a resize")
+		}
+	}
+}
+
+// TestFlashCrowdRushesTheFrontier: most flash-crowd traffic lands in the
+// flex zone, while churn spreads in proportion to zone sizes.
+func TestFlashCrowdRushesTheFrontier(t *testing.T) {
+	frontierFrac := func(shape Shape) float64 {
+		g, err := New(Config{Shape: shape, Components: 16, Workers: 1, ScanFrac: -1, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flexOps, total := 0, 0
+		for _, op := range g.Ops(0, 2000) {
+			if len(op.Comps) == 0 {
+				continue
+			}
+			total++
+			if op.Comps[0] >= 16 {
+				flexOps++
+			}
+		}
+		return float64(flexOps) / float64(total)
+	}
+	if frac := frontierFrac(FlashCrowd); frac < 0.7 {
+		t.Fatalf("flash-crowd sent %.0f%% of ops to the flex zone, want ~80%%", frac*100)
+	}
+	// Churn: flex/(n+flex) = 4/20 = 20%.
+	if frac := frontierFrac(Churn); frac < 0.1 || frac > 0.35 {
+		t.Fatalf("churn sent %.0f%% of ops to the flex zone, want ~20%%", frac*100)
+	}
+}
+
 // TestNextReusesBuffers: the hot path the benchmark loop sits on must not
 // allocate per operation.
 func TestNextReusesBuffers(t *testing.T) {
-	for _, shape := range []Shape{Uniform, Zipfian, Partitioned} {
+	for _, shape := range []Shape{Uniform, Zipfian, Partitioned, Churn, FlashCrowd} {
 		g, err := New(baseConfig(shape))
 		if err != nil {
 			t.Fatal(err)
