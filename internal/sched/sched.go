@@ -122,6 +122,26 @@ const (
 	// PreAdopt fires when a scan found a posted help view and is about to
 	// return it. arg = the adopting record's level.
 	PreAdopt Point = "pre-adopt"
+
+	// PreSeqRead fires in Versioned's optimistic pass, before each
+	// component's stamp-then-cell load pair. arg = component id. A k-wide
+	// optimistic scan yields here k times, which is what lets a script (or
+	// the DFS) slide a write — or a whole resize — between any two of the
+	// ordered loads.
+	PreSeqRead Point = "pre-seq-read"
+
+	// PreValidate fires after Versioned's optimistic pass read every
+	// requested component and before the validation re-read of the stamps
+	// (and the epoch pin). arg = the attempt index, 0-based. This is the
+	// window the seqlock closes: anything written between the loads and this
+	// point must flip a stamp and fail the validation.
+	PreValidate Point = "pre-validate"
+
+	// PreEscalate fires when Versioned has exhausted its optimistic budget
+	// and is about to fall back to the wait-free announce-and-help scan.
+	// arg = the number of optimistic attempts consumed. Scripts park here to
+	// race the escalation against resizes and writes.
+	PreEscalate Point = "pre-escalate"
 )
 
 // Scheduler receives yield callbacks from instrumented code. Yield must be

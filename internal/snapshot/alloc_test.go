@@ -66,6 +66,60 @@ func TestAllocsPerOpLockFree(t *testing.T) {
 	assertAllocs(t, "lockfree full Scan", 1, func() error { _, err := o.Scan(); return err })
 }
 
+func TestAllocsPerOpVersioned(t *testing.T) {
+	o := snapshot.NewVersioned[int64](64)
+	narrow, narrowVals := []int{3}, []int64{1}
+	wide, wideVals := []int{3, 40, 17, 60}, []int64{1, 2, 3, 4}
+	scanIDs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < 64; i++ {
+		if err := o.Update(wide, wideVals); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.PartialScan(scanIDs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.Scan(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The seqlock stamps ride inside the register file: the write path
+	// still allocates only its cell batch.
+	assertAllocs(t, "versioned Update width-1", 1, func() error { return o.Update(narrow, narrowVals) })
+	assertAllocs(t, "versioned Update width-4", 1, func() error { return o.Update(wide, wideVals) })
+	// THE fast-path property: an uncontended optimistic scan allocates
+	// exactly the result slice the caller keeps — no announcement, no
+	// record, no collect buffers.
+	assertAllocs(t, "versioned PartialScan width-8", 1, func() error { _, err := o.PartialScan(scanIDs); return err })
+	assertAllocs(t, "versioned full Scan", 1, func() error { _, err := o.Scan(); return err })
+
+	// And the uncontended scans above must all have been optimistic: a
+	// single escalation here means the fast path degraded, not that the
+	// budget was merely lucky.
+	if st := o.Stats(); st.Escalations != 0 || st.TornReads != 0 {
+		t.Fatalf("uncontended scans escalated: %d escalations, %d torn reads", st.Escalations, st.TornReads)
+	}
+
+	// A scan that spends its optimistic budget and escalates pays the
+	// optimistic result slice AND the slow path's pooled-record machinery —
+	// which is exactly the LockFree budget plus the lost bet's slice, and
+	// one more slice if the retry reallocates. Pin the whole ladder to the
+	// LockFree scan budget plus the wasted optimistic pass.
+	esc := snapshot.NewVersioned[int64](64).WithOptimisticAttempts(0)
+	for i := 0; i < 64; i++ {
+		if err := esc.Update(wide, wideVals); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := esc.PartialScan(scanIDs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertAllocs(t, "versioned escalated PartialScan width-8", 1, func() error { _, err := esc.PartialScan(scanIDs); return err })
+	if st := esc.Stats(); st.OptimisticScans != 0 {
+		t.Fatalf("zero-budget object completed %d optimistic scans", st.OptimisticScans)
+	}
+}
+
 func TestAllocsPerOpRWMutex(t *testing.T) {
 	o := snapshot.NewRWMutex[int64](64)
 	ids, vals := []int{3, 40}, []int64{1, 2}

@@ -40,6 +40,42 @@ func benchmarkMixed(b *testing.B, obj snapshot.Object[int64], scanWidth int) {
 	})
 }
 
+// benchmarkScanOnly measures the pure PartialScan path over a prewritten
+// object with a sliding contiguous window — no generator cost beyond one
+// Intn per op, so the implementations' scan cores dominate the numbers.
+func benchmarkScanOnly(b *testing.B, obj snapshot.Object[int64], scanWidth int) {
+	ids := make([]int, benchComponents)
+	vals := make([]int64, benchComponents)
+	for i := range ids {
+		ids[i], vals[i] = i, int64(i+1)
+	}
+	if err := obj.Update(ids, vals); err != nil {
+		b.Fatal(err)
+	}
+	var worker atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(worker.Add(1)))
+		scanIDs := make([]int, scanWidth)
+		for pb.Next() {
+			base := rng.Intn(benchComponents - scanWidth + 1)
+			for i := range scanIDs {
+				scanIDs[i] = base + i
+			}
+			if _, err := obj.PartialScan(scanIDs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkLockFreeScanWidth8(b *testing.B) {
+	benchmarkScanOnly(b, snapshot.NewLockFree[int64](benchComponents), 8)
+}
+
+func BenchmarkVersionedScanWidth8(b *testing.B) {
+	benchmarkScanOnly(b, snapshot.NewVersioned[int64](benchComponents), 8)
+}
+
 func BenchmarkLockFreeMixedWidth1(b *testing.B) {
 	benchmarkMixed(b, snapshot.NewLockFree[int64](benchComponents), 1)
 }
@@ -54,4 +90,12 @@ func BenchmarkRWMutexMixedWidth1(b *testing.B) {
 
 func BenchmarkRWMutexMixedWidth16(b *testing.B) {
 	benchmarkMixed(b, snapshot.NewRWMutex[int64](benchComponents), 16)
+}
+
+func BenchmarkLockFreeScanWidth1(b *testing.B) {
+	benchmarkScanOnly(b, snapshot.NewLockFree[int64](benchComponents), 1)
+}
+
+func BenchmarkVersionedScanWidth1(b *testing.B) {
+	benchmarkScanOnly(b, snapshot.NewVersioned[int64](benchComponents), 1)
 }

@@ -60,26 +60,42 @@ import (
 // between consecutive epochs.
 type universe[V any] struct {
 	epoch uint64
-	cells []*atomic.Pointer[cell[V]]
+	regs  []*reg[V]
 	slots []*slot[V]
 	all   []int // cached [0..n) for Scan
 }
 
-// newUniverse returns epoch 0 with n zero-valued components. Cells and
+// reg is one component's register: the atomic cell pointer every
+// implementation reads and writes, packed next to the seqlock stamp of the
+// Versioned implementation — version in the high 32 bits, writers-in-
+// flight in the low 32 (see versioned.go for the read/write protocol). The
+// stamp lives in every universe so the epoch layer stays implementation-
+// agnostic, and packing it beside the pointer makes the optimistic fast
+// path's stamp-then-cell load pair hit one cache line instead of two.
+// Surviving components share their reg across epochs — a Versioned write
+// through an old epoch is torn-visible to readers of the new one — while a
+// shrunk-and-regrown component comes back with a fresh reg: a fresh cell
+// and a fresh stamp together.
+type reg[V any] struct {
+	ptr   atomic.Pointer[cell[V]]
+	stamp atomic.Uint64
+}
+
+// newUniverse returns epoch 0 with n zero-valued components. Regs and
 // slots are carved out of two contiguous backing arrays, so the initial
 // epoch has the same memory layout a fixed-size object would.
 func newUniverse[V any](n int) *universe[V] {
 	u := &universe[V]{
-		cells: make([]*atomic.Pointer[cell[V]], n),
+		regs:  make([]*reg[V], n),
 		slots: make([]*slot[V], n),
 		all:   allIDs(n),
 	}
-	cellBacking := make([]atomic.Pointer[cell[V]], n)
+	backing := make([]reg[V], n)
 	slotBacking := make([]slot[V], n)
 	initial := &cell[V]{}
 	for i := 0; i < n; i++ {
-		cellBacking[i].Store(initial)
-		u.cells[i] = &cellBacking[i]
+		backing[i].ptr.Store(initial)
+		u.regs[i] = &backing[i]
 		u.slots[i] = &slotBacking[i]
 	}
 	return u
@@ -89,21 +105,21 @@ func newUniverse[V any](n int) *universe[V] {
 // surviving prefix aliases u's per-component state, the new tail is fresh
 // and zero-valued.
 func (u *universe[V]) grown(k int) *universe[V] {
-	n := len(u.cells)
+	n := len(u.regs)
 	succ := &universe[V]{
 		epoch: u.epoch + 1,
-		cells: make([]*atomic.Pointer[cell[V]], n+k),
+		regs:  make([]*reg[V], n+k),
 		slots: make([]*slot[V], n+k),
 		all:   allIDs(n + k),
 	}
-	copy(succ.cells, u.cells)
+	copy(succ.regs, u.regs)
 	copy(succ.slots, u.slots)
-	cellBacking := make([]atomic.Pointer[cell[V]], k)
+	backing := make([]reg[V], k)
 	slotBacking := make([]slot[V], k)
 	initial := &cell[V]{}
 	for i := 0; i < k; i++ {
-		cellBacking[i].Store(initial)
-		succ.cells[n+i] = &cellBacking[i]
+		backing[i].ptr.Store(initial)
+		succ.regs[n+i] = &backing[i]
 		succ.slots[n+i] = &slotBacking[i]
 	}
 	return succ
@@ -113,14 +129,14 @@ func (u *universe[V]) grown(k int) *universe[V] {
 // The surviving prefix is copied into fresh slices (not re-sliced), so the
 // successor does not pin the dropped components' state for the collector.
 func (u *universe[V]) shrunk(k int) *universe[V] {
-	n := len(u.cells) - k
+	n := len(u.regs) - k
 	succ := &universe[V]{
 		epoch: u.epoch + 1,
-		cells: make([]*atomic.Pointer[cell[V]], n),
+		regs:  make([]*reg[V], n),
 		slots: make([]*slot[V], n),
 		all:   allIDs(n),
 	}
-	copy(succ.cells, u.cells[:n])
+	copy(succ.regs, u.regs[:n])
 	copy(succ.slots, u.slots[:n])
 	return succ
 }
@@ -145,11 +161,11 @@ func (o *LockFree[V]) Grow(k int) (int, error) {
 	for {
 		old := o.uni.Load()
 		succ := old.grown(k)
-		o.yield(sched.PreEpochInstall, len(succ.cells))
+		o.yield(sched.PreEpochInstall, len(succ.regs))
 		if o.uni.CompareAndSwap(old, succ) {
 			o.epochInstalls.Add(1)
 			o.grows.Add(1)
-			return len(succ.cells), nil
+			return len(succ.regs), nil
 		}
 	}
 }
@@ -166,23 +182,23 @@ func (o *LockFree[V]) Shrink(k int) (int, error) {
 	}
 	for {
 		old := o.uni.Load()
-		if k >= len(old.cells) {
-			return 0, fmt.Errorf("%w: shrink by %d of %d components", ErrBadResize, k, len(old.cells))
+		if k >= len(old.regs) {
+			return 0, fmt.Errorf("%w: shrink by %d of %d components", ErrBadResize, k, len(old.regs))
 		}
 		succ := old.shrunk(k)
-		o.yield(sched.PreEpochInstall, len(succ.cells))
+		o.yield(sched.PreEpochInstall, len(succ.regs))
 		if o.uni.CompareAndSwap(old, succ) {
 			// Fold the dropped slots' locality gauges into the retired
 			// accumulators so Stats stays monotonic. Walkers still pinned to
 			// the old epoch may bump a dropped slot after this fold; the
 			// undercount is bounded by the ops in flight at the install.
-			for _, s := range old.slots[len(succ.cells):] {
+			for _, s := range old.slots[len(succ.regs):] {
 				o.retiredWalks.Add(s.walks.Load())
 				o.retiredVisited.Add(s.visited.Load())
 			}
 			o.epochInstalls.Add(1)
 			o.shrinks.Add(1)
-			return len(succ.cells), nil
+			return len(succ.regs), nil
 		}
 	}
 }

@@ -111,7 +111,7 @@ func (o *LockFree[V]) yield(p sched.Point, arg int) {
 }
 
 // Components returns the component count of the currently installed epoch.
-func (o *LockFree[V]) Components() int { return len(o.uni.Load().cells) }
+func (o *LockFree[V]) Components() int { return len(o.uni.Load().regs) }
 
 // Epoch returns the current universe's epoch number (0 at construction,
 // +1 per installed Grow/Shrink). Test and observability helper.
@@ -136,7 +136,7 @@ func (o *LockFree[V]) UpdateOp(ids []int, vals []V) (uint64, error) {
 	// this one epoch's shape. A resize installed after this load linearizes
 	// after this update (see epoch.go).
 	u := o.pin()
-	if err := validateArgs(len(u.cells), ids, vals); err != nil {
+	if err := validateArgs(len(u.regs), ids, vals); err != nil {
 		return 0, err
 	}
 	op := o.nextOp(u, ids)
@@ -151,7 +151,7 @@ func (o *LockFree[V]) UpdateOp(ids []int, vals []V) (uint64, error) {
 	for i, id := range ids {
 		batch[i] = cell[V]{val: vals[i], op: op}
 		o.yield(sched.PreCellStore, id)
-		u.cells[id].Store(&batch[i])
+		u.regs[id].ptr.Store(&batch[i])
 	}
 	return op, nil
 }
@@ -202,6 +202,17 @@ type Stats struct {
 	// Grows and Shrinks split EpochInstalls by direction.
 	Grows   uint64 `json:"grows"`
 	Shrinks uint64 `json:"shrinks"`
+	// OptimisticScans, Escalations and TornReads are the Versioned
+	// implementation's seqlock gauges (always zero for LockFree and
+	// RWMutex): scans completed by a validated optimistic pass, scans that
+	// fell back to the wait-free announce-and-help path, and optimistic
+	// attempts (or epoch-crossed slow-path views) discarded as torn. Every
+	// completed scan took exactly one of the two paths, so
+	// OptimisticScans + Escalations reconciles with the scan op count;
+	// see parity_test.go for the per-shape invariants.
+	OptimisticScans uint64 `json:"optimistic_scans"`
+	Escalations     uint64 `json:"escalations"`
+	TornReads       uint64 `json:"torn_reads"`
 }
 
 func (o *LockFree[V]) Stats() Stats {

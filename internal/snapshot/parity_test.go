@@ -11,11 +11,41 @@ import (
 	"partialsnapshot/internal/workload"
 )
 
-// The parity suite runs the RWMutex reference and the LockFree object
-// through IDENTICAL workload shapes — same generator, same seed, same
-// per-worker op streams — and holds both to the same spec oracle, then
-// diffs what each implementation's invariants promise: equal op counts,
-// equal sequential semantics, and the lock-free Stats hygiene per shape.
+// The parity suite runs the RWMutex reference, the LockFree object and the
+// Versioned optimistic front through IDENTICAL workload shapes — same
+// generator, same seed, same per-worker op streams — and holds all three
+// to the same spec oracle, then diffs what each implementation's
+// invariants promise: equal op counts, equal sequential semantics, the
+// lock-free Stats hygiene per shape, and the Versioned seqlock gauges
+// reconciling exactly with the operation counts.
+
+// infoObject is the surface the parity recorder wants beyond Object:
+// update operation ids for the provenance oracle and scan adoption info.
+// The lock-free object and its versioned front both provide it; the
+// RWMutex reference intentionally does not, and the recorder degrades to
+// the plain Object calls for it.
+type infoObject interface {
+	UpdateOp(ids []int, vals []int64) (uint64, error)
+	PartialScanInfo(ids []int) ([]int64, snapshot.ScanInfo, error)
+}
+
+// statsObject is any implementation exposing progress counters.
+type statsObject interface{ Stats() snapshot.Stats }
+
+// parityImpls is the full implementation matrix; newParityObject builds
+// one cell of it.
+var parityImpls = []string{"lockfree", "versioned", "rwmutex"}
+
+func newParityObject(impl string, n int) snapshot.Object[int64] {
+	switch impl {
+	case "lockfree":
+		return snapshot.NewLockFree[int64](n)
+	case "versioned":
+		return snapshot.NewVersioned[int64](n)
+	default:
+		return snapshot.NewRWMutex[int64](n)
+	}
+}
 
 // parityCfg sizes one shape's parity cell; widths are explicit where the
 // tiny object makes shape defaults infeasible.
@@ -44,7 +74,7 @@ type parityCounts struct {
 func runParityWorkload(t *testing.T, obj snapshot.Object[int64], gen *workload.Generator, opsPerWorker int) ([]spec.Op[int64], parityCounts) {
 	t.Helper()
 	rec := &spec.Recorder[int64]{}
-	lf, isLockFree := obj.(*snapshot.LockFree[int64])
+	io, hasInfo := obj.(infoObject)
 	tolerateRejects := gen.Config().Shape.Resizes()
 	var wg sync.WaitGroup
 	var counts parityCounts
@@ -60,8 +90,8 @@ func runParityWorkload(t *testing.T, obj snapshot.Object[int64], gen *workload.G
 					start := rec.Now()
 					var id uint64
 					var err error
-					if isLockFree {
-						id, err = lf.UpdateOp(op.Comps, op.Vals)
+					if hasInfo {
+						id, err = io.UpdateOp(op.Comps, op.Vals)
 					} else {
 						err = obj.Update(op.Comps, op.Vals)
 					}
@@ -81,8 +111,8 @@ func runParityWorkload(t *testing.T, obj snapshot.Object[int64], gen *workload.G
 					var vals []int64
 					var info snapshot.ScanInfo
 					var err error
-					if isLockFree {
-						vals, info, err = lf.PartialScanInfo(op.Comps)
+					if hasInfo {
+						vals, info, err = io.PartialScanInfo(op.Comps)
 					} else {
 						vals, err = obj.PartialScan(op.Comps)
 					}
@@ -132,11 +162,13 @@ func runParityWorkload(t *testing.T, obj snapshot.Object[int64], gen *workload.G
 }
 
 // TestParityAcrossWorkloadShapes is the concurrent arm: for every shape,
-// both implementations absorb the same traffic under -race, every history
-// passes the same spec + provenance oracle, both implementations complete
-// the same operation mix, and the lock-free Stats invariants hold per
-// shape (hygiene everywhere, structural non-interference when the shape
-// is partitioned).
+// all three implementations absorb the same traffic under -race, every
+// history passes the same spec + provenance oracle, every implementation
+// completes the same operation mix, and the per-implementation Stats
+// invariants hold per shape — lock-free hygiene everywhere, structural
+// non-interference when the shape is partitioned, and the Versioned
+// seqlock gauges (OptimisticScans, Escalations, TornReads) reconciling
+// with the scan counts.
 func TestParityAcrossWorkloadShapes(t *testing.T) {
 	opsPerWorker := 300
 	if testing.Short() {
@@ -146,18 +178,13 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 		t.Run(string(shape), func(t *testing.T) {
 			cfg := parityCfg(shape)
 			countsByImpl := map[string]parityCounts{}
-			for _, impl := range []string{"lockfree", "rwmutex"} {
+			for _, impl := range parityImpls {
 				t.Run(impl, func(t *testing.T) {
 					gen, err := workload.New(cfg)
 					if err != nil {
 						t.Fatal(err)
 					}
-					var obj snapshot.Object[int64]
-					if impl == "lockfree" {
-						obj = snapshot.NewLockFree[int64](cfg.Components)
-					} else {
-						obj = snapshot.NewRWMutex[int64](cfg.Components)
-					}
+					obj := newParityObject(impl, cfg.Components)
 					ops, counts := runParityWorkload(t, obj, gen, opsPerWorker)
 					if t.Failed() {
 						return
@@ -169,17 +196,14 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 					if err := spec.CheckProvenance(ops); err != nil {
 						t.Fatalf("%s/%s history rejected by provenance check: %v", shape, impl, err)
 					}
-					lf, ok := obj.(*snapshot.LockFree[int64])
+					so, ok := obj.(statsObject)
 					if !ok {
 						// The reference implementation intentionally has no
 						// Stats surface; the parity claim is that it needs
 						// none.
-						if _, has := obj.(interface{ Stats() snapshot.Stats }); has {
-							t.Fatal("rwmutex grew a Stats surface; update the parity suite")
-						}
 						return
 					}
-					st := lf.Stats()
+					st := so.Stats()
 					if st.LiveAnnouncements != 0 {
 						t.Fatalf("%s leaked %d live announcements", shape, st.LiveAnnouncements)
 					}
@@ -210,46 +234,91 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 							t.Fatalf("partitioned workload interfered: %+v", st)
 						}
 					}
-					t.Logf("%s/%s: %d ops, stats %+v", shape, impl, len(ops), st)
+					if impl == "lockfree" {
+						// The seqlock gauges belong to the versioned front;
+						// on the bare lock-free object they must stay zero.
+						if st.OptimisticScans+st.Escalations+st.TornReads != 0 {
+							t.Fatalf("%s: lockfree bumped seqlock gauges: %+v", shape, st)
+						}
+						return
+					}
+					// Versioned gauge reconciliation. Every successful scan
+					// completed exactly one way — validated optimistic or
+					// escalated — so the two gauges partition the scan count.
+					// On resizing shapes an escalated scan can still end in a
+					// legitimate ErrBadComponent rejection (it bumped
+					// Escalations but not Scans), so the partition widens to
+					// bounds; everywhere else it is exact.
+					done := st.OptimisticScans + st.Escalations
+					if shape.Resizes() {
+						if done < uint64(counts.Scans) || done > uint64(counts.Scans+counts.Rejects) {
+							t.Fatalf("%s: %d optimistic + %d escalated scans outside [%d, %d]: %+v",
+								shape, st.OptimisticScans, st.Escalations, counts.Scans, counts.Scans+counts.Rejects, st)
+						}
+					} else if done != uint64(counts.Scans) {
+						t.Fatalf("%s: %d optimistic + %d escalated scans != %d completed scans: %+v",
+							shape, st.OptimisticScans, st.Escalations, counts.Scans, st)
+					}
+					// Each escalation consumed the full optimistic budget in
+					// torn attempts first (the workload never tunes the knob
+					// below its default of 3).
+					if st.TornReads < 3*st.Escalations {
+						t.Fatalf("%s: %d escalations but only %d torn reads: %+v",
+							shape, st.Escalations, st.TornReads, st)
+					}
+					if shape == workload.Partitioned && (st.Escalations != 0 || st.TornReads != 0) {
+						// Disjoint pools: no writer ever touches a component
+						// mid-scan, so the fast path never tears and never
+						// escalates.
+						t.Fatalf("partitioned versioned scans tore: %+v", st)
+					}
+					t.Logf("%s/%s: %d ops, %d optimistic, %d escalated, %d torn",
+						shape, impl, len(ops), st.OptimisticScans, st.Escalations, st.TornReads)
 				})
 			}
 			if t.Failed() {
 				return
 			}
-			if len(countsByImpl) < 2 {
-				// A -run filter selected a single implementation subtest;
-				// there is nothing to diff.
+			if len(countsByImpl) < len(parityImpls) {
+				// A -run filter selected a subset of implementations; there
+				// is nothing (or only a partial matrix) to diff.
 				return
 			}
-			// Same generator, same seed ⇒ both implementations must have
+			// Same generator, same seed ⇒ every implementation must have
 			// executed the identical operation mix. On resizing shapes,
 			// which ops get rejected depends on how each run's resizes
 			// interleave with the workers, so only the deterministic parts
 			// are comparable: the resize count and the total attempts.
-			lfc, rwc := countsByImpl["lockfree"], countsByImpl["rwmutex"]
-			if shape.Resizes() {
-				if lfc.Resizes != rwc.Resizes {
-					t.Fatalf("resize counts diverged: lockfree %d, rwmutex %d", lfc.Resizes, rwc.Resizes)
+			base := countsByImpl[parityImpls[0]]
+			for _, impl := range parityImpls[1:] {
+				c := countsByImpl[impl]
+				if shape.Resizes() {
+					if c.Resizes != base.Resizes {
+						t.Fatalf("resize counts diverged: %s %d, %s %d", parityImpls[0], base.Resizes, impl, c.Resizes)
+					}
+					baseTotal := base.Scans + base.Updates + base.Resizes + base.Rejects
+					total := c.Scans + c.Updates + c.Resizes + c.Rejects
+					if want := cfg.Workers * opsPerWorker; baseTotal != want || total != want {
+						t.Fatalf("attempt totals diverged from the stream length %d: %s %d, %s %d",
+							want, parityImpls[0], baseTotal, impl, total)
+					}
+				} else if c != base {
+					t.Fatalf("op mix diverged between implementations: %s %v, %s %v",
+						parityImpls[0], base, impl, c)
 				}
-				lfTotal := lfc.Scans + lfc.Updates + lfc.Resizes + lfc.Rejects
-				rwTotal := rwc.Scans + rwc.Updates + rwc.Resizes + rwc.Rejects
-				if want := cfg.Workers * opsPerWorker; lfTotal != want || rwTotal != want {
-					t.Fatalf("attempt totals diverged from the stream length %d: lockfree %d, rwmutex %d",
-						want, lfTotal, rwTotal)
-				}
-			} else if lfc != rwc {
-				t.Fatalf("op mix diverged between implementations: lockfree %v, rwmutex %v", lfc, rwc)
 			}
 		})
 	}
 }
 
 // TestParitySequentialSemantics is the deterministic arm: the same op
-// stream applied round-robin, one op at a time, to both implementations
-// and the sequential model must leave all three in byte-identical states
-// and answer every scan identically — batch-atomicity differences between
-// the implementations are invisible without concurrency, so any
-// divergence here is a plain bug.
+// stream applied round-robin, one op at a time, to all three
+// implementations and the sequential model must leave all four in
+// byte-identical states and answer every scan identically — batch-
+// atomicity differences between the implementations are invisible without
+// concurrency, so any divergence here is a plain bug. A sequential run
+// also pins the Versioned gauges: with no concurrency every scan
+// validates on its first optimistic attempt.
 func TestParitySequentialSemantics(t *testing.T) {
 	for _, shape := range workload.Shapes() {
 		t.Run(string(shape), func(t *testing.T) {
@@ -259,7 +328,9 @@ func TestParitySequentialSemantics(t *testing.T) {
 				t.Fatal(err)
 			}
 			lf := snapshot.NewLockFree[int64](cfg.Components)
+			vs := snapshot.NewVersioned[int64](cfg.Components)
 			rw := snapshot.NewRWMutex[int64](cfg.Components)
+			scansDone := uint64(0)
 			model := spec.NewModel[int64](cfg.Components)
 			streams := make([][]workload.Op, cfg.Workers)
 			for w := range streams {
@@ -277,11 +348,12 @@ func TestParitySequentialSemantics(t *testing.T) {
 				}
 				return false
 			}
-			wantReject := func(kind string, comps []int, errA, errB error) {
+			wantReject := func(kind string, comps []int, errA, errB, errC error) {
 				t.Helper()
-				if !errors.Is(errA, snapshot.ErrBadComponent) || !errors.Is(errB, snapshot.ErrBadComponent) {
-					t.Fatalf("%s%v names a shrunk component (model size %d) but rejections diverged: lockfree %v, rwmutex %v",
-						kind, comps, model.Components(), errA, errB)
+				if !errors.Is(errA, snapshot.ErrBadComponent) || !errors.Is(errB, snapshot.ErrBadComponent) ||
+					!errors.Is(errC, snapshot.ErrBadComponent) {
+					t.Fatalf("%s%v names a shrunk component (model size %d) but rejections diverged: lockfree %v, rwmutex %v, versioned %v",
+						kind, comps, model.Components(), errA, errB, errC)
 				}
 			}
 			for k := 0; k < 100; k++ {
@@ -291,58 +363,61 @@ func TestParitySequentialSemantics(t *testing.T) {
 					case workload.OpUpdate:
 						errA := lf.Update(op.Comps, op.Vals)
 						errB := rw.Update(op.Comps, op.Vals)
+						errC := vs.Update(op.Comps, op.Vals)
 						if outOfRange(op.Comps) {
-							wantReject("Update", op.Comps, errA, errB)
+							wantReject("Update", op.Comps, errA, errB, errC)
 							continue
 						}
-						if errA != nil {
-							t.Fatalf("lockfree Update%v: %v", op.Comps, errA)
-						}
-						if errB != nil {
-							t.Fatalf("rwmutex Update%v: %v", op.Comps, errB)
+						for impl, err := range map[string]error{"lockfree": errA, "rwmutex": errB, "versioned": errC} {
+							if err != nil {
+								t.Fatalf("%s Update%v: %v", impl, op.Comps, err)
+							}
 						}
 						model.Apply(op.Comps, op.Vals)
 					case workload.OpScan:
 						a, errA := lf.PartialScan(op.Comps)
 						b, errB := rw.PartialScan(op.Comps)
+						c, errC := vs.PartialScan(op.Comps)
 						if outOfRange(op.Comps) {
-							wantReject("PartialScan", op.Comps, errA, errB)
+							wantReject("PartialScan", op.Comps, errA, errB, errC)
 							continue
 						}
-						if errA != nil {
-							t.Fatalf("lockfree PartialScan%v: %v", op.Comps, errA)
+						for impl, err := range map[string]error{"lockfree": errA, "rwmutex": errB, "versioned": errC} {
+							if err != nil {
+								t.Fatalf("%s PartialScan%v: %v", impl, op.Comps, err)
+							}
 						}
-						if errB != nil {
-							t.Fatalf("rwmutex PartialScan%v: %v", op.Comps, errB)
-						}
+						scansDone++
 						want := model.Read(op.Comps)
-						if !reflect.DeepEqual(a, want) || !reflect.DeepEqual(b, want) {
-							t.Fatalf("sequential scan diverged on %v: lockfree %v, rwmutex %v, model %v",
-								op.Comps, a, b, want)
+						if !reflect.DeepEqual(a, want) || !reflect.DeepEqual(b, want) || !reflect.DeepEqual(c, want) {
+							t.Fatalf("sequential scan diverged on %v: lockfree %v, rwmutex %v, versioned %v, model %v",
+								op.Comps, a, b, c, want)
 						}
 					case workload.OpGrow:
 						na, errA := lf.Grow(op.Delta)
 						nb, errB := rw.Grow(op.Delta)
+						nc, errC := vs.Grow(op.Delta)
 						nm, errM := model.Grow(op.Delta)
-						if errA != nil || errB != nil || errM != nil {
-							t.Fatalf("Grow(%d) errors diverged: lockfree %v, rwmutex %v, model %v",
-								op.Delta, errA, errB, errM)
+						if errA != nil || errB != nil || errC != nil || errM != nil {
+							t.Fatalf("Grow(%d) errors diverged: lockfree %v, rwmutex %v, versioned %v, model %v",
+								op.Delta, errA, errB, errC, errM)
 						}
-						if na != nm || nb != nm {
-							t.Fatalf("Grow(%d) sizes diverged: lockfree %d, rwmutex %d, model %d",
-								op.Delta, na, nb, nm)
+						if na != nm || nb != nm || nc != nm {
+							t.Fatalf("Grow(%d) sizes diverged: lockfree %d, rwmutex %d, versioned %d, model %d",
+								op.Delta, na, nb, nc, nm)
 						}
 					case workload.OpShrink:
 						na, errA := lf.Shrink(op.Delta)
 						nb, errB := rw.Shrink(op.Delta)
+						nc, errC := vs.Shrink(op.Delta)
 						nm, errM := model.Shrink(op.Delta)
-						if errA != nil || errB != nil || errM != nil {
-							t.Fatalf("Shrink(%d) errors diverged: lockfree %v, rwmutex %v, model %v",
-								op.Delta, errA, errB, errM)
+						if errA != nil || errB != nil || errC != nil || errM != nil {
+							t.Fatalf("Shrink(%d) errors diverged: lockfree %v, rwmutex %v, versioned %v, model %v",
+								op.Delta, errA, errB, errC, errM)
 						}
-						if na != nm || nb != nm {
-							t.Fatalf("Shrink(%d) sizes diverged: lockfree %d, rwmutex %d, model %d",
-								op.Delta, na, nb, nm)
+						if na != nm || nb != nm || nc != nm {
+							t.Fatalf("Shrink(%d) sizes diverged: lockfree %d, rwmutex %d, versioned %d, model %d",
+								op.Delta, na, nb, nc, nm)
 						}
 					}
 				}
@@ -355,11 +430,21 @@ func TestParitySequentialSemantics(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(fa, fb) {
-				t.Fatalf("final states diverged:\nlockfree %v\nrwmutex  %v", fa, fb)
+			fc, err := vs.Scan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fa, fb) || !reflect.DeepEqual(fa, fc) {
+				t.Fatalf("final states diverged:\nlockfree  %v\nrwmutex   %v\nversioned %v", fa, fb, fc)
 			}
 			if st := lf.Stats(); st.ScanRetries != 0 || st.HelpsPosted != 0 {
 				t.Fatalf("sequential workload triggered the concurrency machinery: %+v", st)
+			}
+			// With no concurrency every Versioned scan — including the final
+			// full Scan — validates on its first optimistic attempt: the
+			// gauges must show a clean sweep.
+			if st := vs.Stats(); st.Escalations != 0 || st.TornReads != 0 || st.OptimisticScans != scansDone+1 {
+				t.Fatalf("sequential versioned scans escaped the fast path: %d scans, stats %+v", scansDone+1, st)
 			}
 		})
 	}

@@ -42,7 +42,7 @@ type paddedUint64 struct {
 // value". Scaling uses the pinned epoch's size, so shard choice is stable
 // within the operation regardless of concurrent resizes.
 func (o *LockFree[V]) nextOp(u *universe[V], ids []int) uint64 {
-	shard := uint64(ids[0]) * opShards / uint64(len(u.cells))
+	shard := uint64(ids[0]) * opShards / uint64(len(u.regs))
 	return o.ops[shard].v.Add(1)<<6 | shard
 }
 
@@ -52,7 +52,7 @@ func (o *LockFree[V]) nextOp(u *universe[V], ids []int) uint64 {
 // observes writes made through newer ones.
 func (u *universe[V]) collect(ids []int, into []*cell[V]) {
 	for i, id := range ids {
-		into[i] = u.cells[id].Load()
+		into[i] = u.regs[id].ptr.Load()
 	}
 }
 

@@ -102,7 +102,7 @@ func (o *LockFree[V]) PartialScanInfo(ids []int) ([]V, ScanInfo, error) {
 // already-pinned universe u.
 func (o *LockFree[V]) scanPinned(u *universe[V], ids []int) ([]V, ScanInfo, error) {
 	var info ScanInfo
-	if err := validateIDs(len(u.cells), ids); err != nil {
+	if err := validateIDs(len(u.regs), ids); err != nil {
 		return nil, info, err
 	}
 	bufs := o.getBufs(len(ids))

@@ -1,0 +1,141 @@
+package snapshot
+
+import (
+	"testing"
+
+	"partialsnapshot/internal/sched"
+)
+
+// Scripted regressions for the two races the seqlock fast path must lose
+// gracefully: a write landing inside the validation window (the scan must
+// tear and retry, never return the mix) and a resize landing inside an
+// escalated scan (the slow-path view must be discarded and retaken under
+// the new epoch). The DFS tests prove no interleaving misbehaves; these
+// pin the two canonical ones step by step so a regression names the exact
+// transition that broke.
+
+// TestScriptedValidateVsWrite parks the scanner after a clean optimistic
+// pass, exactly before its validation re-read, and completes a write to a
+// scanned component in the gap. The resumed validation must reject the
+// pass — the stamp sum moved — and the retry must return the
+// post-write view, counting one torn read and zero escalations.
+func TestScriptedValidateVsWrite(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewVersioned[int64](2).Instrument(ctl)
+	if err := o.Update([]int{0, 1}, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var vals []int64
+	var info ScanInfo
+	ctl.Spawn("scanner", func() {
+		var err error
+		vals, info, err = o.PartialScanInfo([]int{0, 1})
+		if err != nil {
+			t.Errorf("scanner: %v", err)
+		}
+	})
+	// Park with {1, 2} read but unvalidated: the whole first pass sits in
+	// the scanner's hands while the world is still allowed to move.
+	if arg, ok := ctl.StepUntil("scanner", sched.PreValidate); !ok || arg != 0 {
+		t.Fatalf("scanner park arg = %d (ok=%v), want attempt 0 at pre-validate", arg, ok)
+	}
+	// The write completes inside the validation window.
+	if err := o.Update([]int{0}, []int64{10}); err != nil {
+		t.Fatal(err)
+	}
+	ctl.RunToCompletion("scanner")
+
+	// The stale pass was rejected and the retry saw the write: the stale
+	// {1, 2} never escapes, and neither does the mix {10, 2}'s torn
+	// sibling {1, 2}-with-10 — the second attempt reads both components
+	// after the write, atomically.
+	if vals == nil || vals[0] != 10 || vals[1] != 2 {
+		t.Fatalf("scan after raced validation = %v, want [10 2]", vals)
+	}
+	if info.Retries != 1 {
+		t.Fatalf("scan retries = %d, want exactly the one torn attempt", info.Retries)
+	}
+	st := o.Stats()
+	if st.TornReads != 1 || st.OptimisticScans != 1 || st.Escalations != 0 {
+		t.Fatalf("gauges after raced validation = torn %d, optimistic %d, escalated %d; want 1/1/0",
+			st.TornReads, st.OptimisticScans, st.Escalations)
+	}
+	// The torn retry never touched the registry: the scan announced
+	// nothing, so the updaters' pre-store walks found nobody enrolled.
+	for c := 0; c < 2; c++ {
+		if _, visited := o.SlotStats(c); visited != 0 {
+			t.Fatalf("slot %d walk visited %d records; the optimistic scan must not enroll", c, visited)
+		}
+	}
+}
+
+// TestScriptedEscalateVsGrow drives a scan through the full fallback
+// ladder against a growing object: a write tears its only optimistic
+// attempt (budget 1), it parks at the escalation boundary, and once inside
+// the announced slow path a Grow installs a new epoch in its double-collect
+// gap. The slow-path view was produced under the replaced universe, so the
+// scan must discard it and retake under the grown epoch — the discard loop
+// that keeps an escalated scan from pairing a retired epoch's cell with a
+// live write.
+func TestScriptedEscalateVsGrow(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewVersioned[int64](2).Instrument(ctl).WithOptimisticAttempts(1)
+	if err := o.Update([]int{0, 1}, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var vals []int64
+	var info ScanInfo
+	ctl.Spawn("scanner", func() {
+		var err error
+		vals, info, err = o.PartialScanInfo([]int{0, 1})
+		if err != nil {
+			t.Errorf("scanner: %v", err)
+		}
+	})
+	// Tear the single optimistic attempt with a completed write in its
+	// validation window.
+	if arg, ok := ctl.StepUntil("scanner", sched.PreValidate); !ok || arg != 0 {
+		t.Fatalf("scanner park arg = %d (ok=%v), want attempt 0 at pre-validate", arg, ok)
+	}
+	if err := o.Update([]int{1}, []int64{20}); err != nil {
+		t.Fatal(err)
+	}
+	// The budget is spent: the scan parks at the escalation boundary with
+	// exactly one consumed attempt.
+	if arg, ok := ctl.StepUntil("scanner", sched.PreEscalate); !ok || arg != 1 {
+		t.Fatalf("scanner park arg = %d (ok=%v), want escalation after 1 attempt", arg, ok)
+	}
+	// Inside the slow path now: park in the double-collect gap and install
+	// a new epoch under the announced scan.
+	if _, ok := ctl.StepUntil("scanner", sched.PostFirstCollect); !ok {
+		t.Fatalf("escalated scan finished before its collect gap")
+	}
+	if size, err := o.Grow(1); err != nil || size != 3 {
+		t.Fatalf("Grow(1) = %d, %v; want 3, nil", size, err)
+	}
+	ctl.RunToCompletion("scanner")
+
+	// The first slow-path view was discarded (its universe was replaced
+	// mid-scan) and the retake under the grown epoch returned the
+	// post-write values.
+	if vals == nil || vals[0] != 1 || vals[1] != 20 {
+		t.Fatalf("scan after raced grow = %v, want [1 20]", vals)
+	}
+	st := o.Stats()
+	if st.Escalations != 1 || st.OptimisticScans != 0 {
+		t.Fatalf("gauges after raced grow = optimistic %d, escalated %d; want 0/1", st.OptimisticScans, st.Escalations)
+	}
+	// Two torn reads: the write that tore the optimistic attempt, and the
+	// grow that invalidated the first slow-path view.
+	if st.TornReads != 2 {
+		t.Fatalf("torn reads = %d, want 2 (one write-torn attempt, one discarded slow-path view)", st.TornReads)
+	}
+	if o.Components() != 3 || o.Epoch() != 1 {
+		t.Fatalf("object after raced grow: n=%d epoch=%d, want 3/1", o.Components(), o.Epoch())
+	}
+	if info.Retries < 1 {
+		t.Fatalf("scan info retries = %d, want at least the torn optimistic attempt", info.Retries)
+	}
+}

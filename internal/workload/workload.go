@@ -332,7 +332,12 @@ func (s *Stream) Next() Op {
 			return Op{Kind: OpGrow, Delta: delta}
 		}
 	}
-	if s.rng.Float64() < s.cfg.ScanFrac {
+	// Degenerate mixes draw no mix decision: a pure-scan (frac >= 1) or
+	// pure-update (frac <= 0) stream spends its randomness only on component
+	// picks. Mixed streams consume exactly one Float64 per op as before, so
+	// their draw sequences — and the committed baselines measured under
+	// them — are unchanged.
+	if s.cfg.ScanFrac >= 1 || (s.cfg.ScanFrac > 0 && s.rng.Float64() < s.cfg.ScanFrac) {
 		return Op{Kind: OpScan, Comps: s.pick(s.cfg.ScanWidth)}
 	}
 	comps := s.pick(s.cfg.UpdateWidth)

@@ -11,7 +11,7 @@ func baseConfig(shape Shape) Config {
 
 // TestStreamsAreDeterministic: equal configs produce byte-identical
 // per-worker streams — the property that lets exploration failures replay
-// from (shape, seed) and the parity suite drive two implementations with
+// from (shape, seed) and the parity suite drive every implementation with
 // the same traffic.
 func TestStreamsAreDeterministic(t *testing.T) {
 	for _, shape := range Shapes() {
