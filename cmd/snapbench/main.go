@@ -1,7 +1,10 @@
 // Command snapbench sweeps a benchmark matrix (implementations ×
 // goroutines × components × scan widths) over the partial snapshot object
 // and writes the results — including each cell's final contention Stats
-// for implementations that expose them — to a BENCH_*.json file.
+// for implementations that expose them — to BENCH_<scenario>.json, or to
+// an explicit path given with -out (alias -o). The default is
+// deterministic per scenario: re-running a sweep overwrites its file
+// rather than minting timestamped strays.
 //
 // Scenarios are the named workload shapes of internal/workload (mixed,
 // partitioned, zipfian, batch-heavy, scan-heavy, churn, flash-crowd) —
@@ -63,7 +66,8 @@ func main() {
 	resizeEvery := flag.Int("resize-every", 0, "resizing scenarios: worker 0 Grows/Shrinks every Nth op (0 = the shape's default; must stay 0 for fixed-universe scenarios)")
 	duration := flag.Duration("duration", 200*time.Millisecond, "duration of each benchmark cell")
 	seed := flag.Int64("seed", 1, "workload random seed")
-	out := flag.String("out", "", "output path (default BENCH_<unix>.json)")
+	out := flag.String("out", "", "output path (default BENCH_<scenario>.json)")
+	flag.StringVar(out, "o", "", "shorthand for -out")
 	flag.Parse()
 
 	implList := strings.Split(*impls, ",")
@@ -172,12 +176,15 @@ func run(scenario string, impls []string, goroutines, components, scanWidths []i
 	if len(rep.Results) == 0 {
 		return fmt.Errorf("no feasible cells: every cell in the sweep was skipped (see skip lines above)")
 	}
+	// The default output path is a pure function of the scenario — never a
+	// pid or timestamp — so repeated sweeps overwrite one well-known file
+	// per scenario instead of littering the tree with stray BENCH_<unix>
+	// files that are one `git add -A` away from being committed.
 	if out == "" {
-		if scenario != "" && scenario != bench.ScenarioMixed {
-			out = fmt.Sprintf("BENCH_%s.json", scenario)
-		} else {
-			out = fmt.Sprintf("BENCH_%d.json", time.Now().Unix())
+		if scenario == "" {
+			scenario = bench.ScenarioMixed
 		}
+		out = fmt.Sprintf("BENCH_%s.json", scenario)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

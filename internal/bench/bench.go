@@ -41,6 +41,10 @@ const (
 	ScenarioBatchHeavy = string(workload.BatchHeavy)
 	// ScenarioScanHeavy is scan-dominated wide partial scans.
 	ScenarioScanHeavy = string(workload.ScanHeavy)
+	// ScenarioUpdateHeavy is pure update traffic with no scans at all: the
+	// quiescent fast-path scenario, where every registry consultation
+	// should resolve through the slot-group summary skip.
+	ScenarioUpdateHeavy = string(workload.UpdateHeavy)
 	// ScenarioChurn runs mixed traffic over a breathing universe: worker 0
 	// periodically Grows and Shrinks the object while everyone's component
 	// picks spread over the base and flex zones.

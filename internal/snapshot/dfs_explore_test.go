@@ -123,7 +123,7 @@ func TestDFSExhaustsTwoWritersOneScanner(t *testing.T) {
 	if !rep.Exhausted {
 		t.Fatalf("search did not exhaust the preemption-%d space: %+v", bound, rep)
 	}
-	floor := 50 // the bound-2 space measures 238 schedules; bound-1 is 48
+	floor := 50 // the bound-2 space measures 404 schedules; bound-1 is 60
 	if bound == 1 {
 		floor = 20
 	}
@@ -135,6 +135,110 @@ func TestDFSExhaustsTwoWritersOneScanner(t *testing.T) {
 	}
 	t.Logf("exhausted preemption-%d space: %d schedules, %d steps, %d budget-pruned branches",
 		bound, rep.Schedules, rep.Steps, rep.BudgetSkips)
+}
+
+// summaryTwoWritersOneScanner is twoWritersOneScanner with the quiescence
+// summary's two outcomes made observable: skipped and walked accumulate
+// WalksSkipped and RegistryWalks across the explored space, so the
+// exhaustion test can prove the search drove schedules through BOTH sides
+// of the summary branch — writers whose summary read found the group
+// quiescent and skipped the slot walk outright, and writers whose read ran
+// while the scanner's announcement was live and therefore walked (and
+// helped). Without the counters, an exhausted space in which every writer
+// happened to skip would vacuously "verify" the walk path.
+func summaryTwoWritersOneScanner(skipped, walked *atomic.Uint64) sched.Scenario {
+	return func(c *sched.Controller) sched.Oracle {
+		o := snapshot.NewLockFree[int64](2).Instrument(c)
+		rec := &spec.Recorder[int64]{}
+		var mu sync.Mutex
+		var opErrs []error
+		fail := func(err error) {
+			mu.Lock()
+			opErrs = append(opErrs, err)
+			mu.Unlock()
+		}
+		update := func(name string, ids []int, vals []int64) {
+			c.Spawn(name, func() {
+				start := rec.Now()
+				id, err := o.UpdateOp(ids, vals)
+				if err != nil {
+					fail(fmt.Errorf("%s: %w", name, err))
+					return
+				}
+				rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
+					Comps: ids, Vals: vals, UpdateID: id})
+			})
+		}
+		update("w1", []int{0}, []int64{workload.Value(0, 0)})
+		update("w2", []int{0, 1}, []int64{workload.Value(1, 0), workload.Value(1, 1)})
+		c.Spawn("scanner", func() {
+			start := rec.Now()
+			vals, info, err := o.PartialScanInfo([]int{0, 1})
+			if err != nil {
+				fail(fmt.Errorf("scanner: %w", err))
+				return
+			}
+			rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(),
+				Comps: []int{0, 1}, Vals: vals, AdoptedFrom: info.HelperOp})
+		})
+		base := specOracle(2, o, rec, &mu, &opErrs)
+		return func(tr sched.Trace) error {
+			if err := base(tr); err != nil {
+				return err
+			}
+			st := o.Stats()
+			skipped.Add(st.WalksSkipped)
+			walked.Add(st.RegistryWalks)
+			return nil
+		}
+	}
+}
+
+// TestDFSExhaustsSummaryGuardedWritersScanner enumerates the ENTIRE
+// preemption-bounded schedule space of the 2-writer/1-scanner scenario with
+// the quiescence summary's outcome counters attached, and requires every
+// schedule — summary reads racing the enroller's count-raise, skips while
+// quiescent, walks while announced, retire-side sweeps racing walkers — to
+// pass the sequential-spec and provenance oracles. The aggregate counters
+// must show both sides of the summary branch were reached, so the claim
+// "the skip never loses a help obligation" is exhausted over a space that
+// actually contains skips AND walks.
+func TestDFSExhaustsSummaryGuardedWritersScanner(t *testing.T) {
+	bound := 2
+	if testing.Short() {
+		bound = 1
+	}
+	bound += deepExtra()
+	var skipped, walked atomic.Uint64
+	d := &sched.DFSExplorer{MaxPreemptions: bound, Timeout: dfsTimeout()}
+	rep := d.Explore(summaryTwoWritersOneScanner(&skipped, &walked))
+	if rep.Failure != nil {
+		f := rep.Failure
+		t.Fatalf("schedule %d failed: %v\nshrunk trace (%d steps):\n%s",
+			f.Schedule, f.Err, len(f.Trace), f.Trace)
+	}
+	if !rep.Exhausted {
+		t.Fatalf("search did not exhaust the preemption-%d space: %+v", bound, rep)
+	}
+	floor := 50
+	if bound == 1 {
+		floor = 20
+	}
+	if rep.Schedules < floor {
+		t.Fatalf("suspiciously small schedule space (%d schedules at bound %d) — did the scenario degenerate?", rep.Schedules, bound)
+	}
+	if skipped.Load() == 0 {
+		t.Fatalf("no explored schedule skipped a walk (%d schedules) — the summary never read quiescent", rep.Schedules)
+	}
+	// Reaching the walk side takes two preemptions: one to land a writer's
+	// store inside the scanner's fast collect gap (forcing the
+	// announcement), one to land another writer's summary read inside the
+	// announced window. The bound-1 space provably contains only skips.
+	if bound >= 2 && walked.Load() == 0 {
+		t.Fatalf("no explored schedule walked a slot (%d schedules, %d skips) — the summary never read a live announcement", rep.Schedules, skipped.Load())
+	}
+	t.Logf("exhausted preemption-%d summary space: %d schedules, %d steps, %d budget-pruned branches, %d skips, %d walks",
+		bound, rep.Schedules, rep.Steps, rep.BudgetSkips, skipped.Load(), walked.Load())
 }
 
 // versionedWriterScanner is twoWritersOneScanner on the optimistic

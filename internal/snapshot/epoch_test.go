@@ -267,10 +267,16 @@ func TestShrinkVsEnrollScripted(t *testing.T) {
 	if st.LiveAnnouncements != 0 {
 		t.Fatalf("shrink-vs-enroll leaked %d live announcements", st.LiveAnnouncements)
 	}
-	// The two seed walks (slots 2 and 3) and the obstructing walk (slot 2)
-	// happened in dropped slots; folding must keep the gauge monotone.
+	// The seed update (slots 2 and 3) and the obstructing update (slot 2)
+	// both ran against a quiescent registry, so their consultations were
+	// summary-elided skips — three in total, landing in groups the Shrink
+	// then dropped. The skip gauge lives on the object, not the universe,
+	// and the folded walk gauge must stay monotone across the drop.
 	if st.RegistryWalks < walksBefore {
 		t.Fatalf("RegistryWalks went backwards across Shrink: %d -> %d", walksBefore, st.RegistryWalks)
+	}
+	if st.WalksSkipped != 3 {
+		t.Fatalf("WalksSkipped = %d, want 3 (seed {2,3} + obstructing {2})", st.WalksSkipped)
 	}
 	if st.Shrinks != 1 || st.Epoch != 1 {
 		t.Fatalf("epoch counters = %+v, want 1 shrink at epoch 1", st)

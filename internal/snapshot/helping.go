@@ -24,7 +24,7 @@ type seenRecord[V any] struct {
 	gen uint64
 }
 
-// helpIntersectingScans walks u's registry slot of every component the
+// helpIntersectingScans consults u's registry for every component the
 // update is about to write and, for each live record found, completes an
 // embedded scan of that record's set and posts the view. Records enrolled
 // in several of the walked slots are seen once per shared slot and deduped
@@ -33,14 +33,43 @@ type seenRecord[V any] struct {
 // unlike the earlier global announcement stack, which every update walked
 // end to end.
 //
+// The consultation is summary-first: per written component the updater
+// loads the slot group's announced count (once per contiguous run of
+// same-group components — the load is cached across the run) and walks the
+// slot only when the count is nonzero. A zero count is a sound proof of
+// emptiness because enroll raises it before any head CAS: a scan enrolled
+// in component c either raised c's group before our load (we read nonzero
+// and walk c's slot) or raised it after (our consultation of c precedes
+// its enrollment, making this update one of the finitely many pre-walk
+// updates per component the termination argument in embeddedScan already
+// tolerates). The converse race — count already raised, head not yet
+// CAS'd — costs a walk that finds nothing, wasted but safe, and resolves
+// the same way. Skipped walks touch no slot cache line and are tallied in
+// the sharded walksSkipped counters instead of the per-slot gauges.
+//
 // u is the updater's pinned universe. A slot surviving across epochs is
-// aliased, so the walk finds records enrolled through any epoch that
-// shares the component; records found may therefore carry a rec.uni older
-// than u, and the embedded scan runs through THAT universe — the epoch the
-// scanner's collects read.
+// aliased — and so is its slot group, see epoch.go — so the summary and
+// the walk observe records enrolled through any epoch that shares the
+// component; records found may therefore carry a rec.uni older than u, and
+// the embedded scan runs through THAT universe — the epoch the scanner's
+// collects read.
 func (o *LockFree[V]) helpIntersectingScans(u *universe[V], ids []int, op uint64) {
 	var seen []seenRecord[V] // allocated only if a live record is found
+	var lastGroup *slotGroup
+	lastQuiet := false
+	skipped := 0
 	for _, id := range ids {
+		// The summary is read through the pinned epoch: its groups are
+		// aliased by every epoch sharing any of the group's components, so a
+		// count raised through any such epoch is visible here.
+		if g := u.groups[id>>groupShift]; g != lastGroup {
+			o.yield(sched.PreSummaryRead, id)
+			lastGroup, lastQuiet = g, g.announced.Load() == 0
+		}
+		if lastQuiet {
+			skipped++
+			continue
+		}
 		o.yield(sched.PreSlotWalk, id)
 		wu := u
 		if o.unpinnedEpoch {
@@ -78,6 +107,12 @@ func (o *LockFree[V]) helpIntersectingScans(u *universe[V], ids []int, op uint64
 			}
 		})
 	}
+	if skipped != 0 {
+		// One sharded add per update, on the same shard its op id came
+		// from, so the quiescent fast path writes no registry cache line at
+		// all — only a counter line contended exactly like the op-id shard.
+		o.walksSkipped[uint64(ids[0])*opShards/uint64(len(u.regs))].v.Add(uint64(skipped))
+	}
 }
 
 // embeddedScan produces a consistent view of target's component set on
@@ -89,13 +124,18 @@ func (o *LockFree[V]) helpIntersectingScans(u *universe[V], ids []int, op uint64
 //
 // Termination argument (why unbounded looping here cannot run forever): a
 // double collect only fails when some update stored one of the record's
-// cells between the two collects. An update that writes component c walks
-// c's registry slot before storing to c, so if it began its walk of that
-// slot after rec was enrolled there, it finds rec and posts help. Only
-// updates already past their walk of some named slot when rec enrolled in
-// it can obstruct without helping — finitely many per component, finitely
-// many in total — so after they drain, every further obstruction implies
-// help arrives on rec and the loop exits via adoption. The same argument
+// cells between the two collects. An update that writes component c
+// consults c's registry before storing to c — it loads c's slot-group
+// summary and, on a nonzero count, walks c's slot — so if its summary load
+// for c came after rec's enrollment raised the count there, it reads
+// nonzero, walks, finds rec and posts help. Only updates whose
+// consultation of some named component (summary load or walk) preceded
+// rec's count-raise for it can obstruct without helping — finitely many
+// per component, finitely many in total — so after they drain, every
+// further obstruction implies help arrives on rec and the loop exits via
+// adoption. The summary skip thus changes which updates are "pre-walk",
+// never their finiteness: a skipping update IS a pre-walk update for every
+// record enrolled after its load. The same argument
 // applies to the helper of the helper; the chain is finite because each
 // level is occupied by a distinct concurrent update and the deepest level,
 // obstructed by nobody new, completes by a clean double collect.

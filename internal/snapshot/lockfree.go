@@ -68,6 +68,11 @@ type LockFree[V any] struct {
 	maxDepth     atomic.Int64
 	recReuses    atomic.Uint64
 
+	// walksSkipped counts registry walks the quiescence summary proved
+	// unnecessary (see helpIntersectingScans), sharded like the op-id
+	// counters so the quiescent fast path never touches a slot cache line.
+	walksSkipped [opShards]paddedUint64
+
 	epochInstalls atomic.Uint64
 	grows         atomic.Uint64
 	shrinks       atomic.Uint64
@@ -177,9 +182,18 @@ type Stats struct {
 	// posted over the object's lifetime (0 = helping never recursed).
 	MaxHelpDepth int64 `json:"max_help_depth"`
 	// RegistryWalks counts updater walks of registry slots, one per
-	// (update, named component) pair, summed across the current epoch's
-	// slots and the slots retired by Shrink.
+	// (update, named component) pair whose slot group's quiescence summary
+	// read nonzero, summed across the current epoch's slots and the slots
+	// retired by Shrink.
 	RegistryWalks uint64 `json:"registry_walks"`
+	// WalksSkipped counts the walks the quiescence summary elided: one per
+	// (update, named component) pair whose slot group held no live
+	// enrollment at the update's summary read. In a quiescent (no-scanner)
+	// workload this approaches update ops × update width while
+	// RegistryWalks stays near zero — the registry tax the summary
+	// removes. RegistryWalks + WalksSkipped is the total consultation
+	// count the walk-before-store argument is stated over.
+	WalksSkipped uint64 `json:"walks_skipped"`
 	// RecordsVisited counts live records those walks encountered, one per
 	// (walk, enrollment) encounter. Under a workload partitioned over
 	// disjoint component ranges, each partition's visits land on its own
@@ -235,6 +249,9 @@ func (o *LockFree[V]) Stats() Stats {
 	for _, s := range u.slots {
 		st.RegistryWalks += s.walks.Load()
 		st.RecordsVisited += s.visited.Load()
+	}
+	for i := range o.walksSkipped {
+		st.WalksSkipped += o.walksSkipped[i].v.Load()
 	}
 	return st
 }

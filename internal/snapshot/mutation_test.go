@@ -364,6 +364,173 @@ func TestMutationUnvalidatedOptimisticScanIsConvicted(t *testing.T) {
 		f.Schedule, mutated.Schedules, f.Err, len(f.Trace), f.Trace)
 }
 
+// earlySummaryDecrementScenario stages the smallest state in which handing
+// a slot group's announced count back before the record retires loses a
+// help obligation. Deterministic setup (scripted, not explored):
+//
+//   - "scanner" was obstructed out of its fast path on {1,2}, announced —
+//     with the mutant active, enroll raises the group count and gives it
+//     straight back, so the fully-enrolled live record sits behind a
+//     summary that reads zero — and parked inside its announced collect
+//     gap.
+//   - "walker" is an update of component 2 spawned after the announcement:
+//     the protocol obliges it to find the record and post help before
+//     storing.
+//
+// The search owns the schedule from there. The intact walker's summary
+// load reads nonzero (enroll's decrement waits for retire), so it walks
+// slot 2, finds the record and posts help before storing. The mutant reads
+// zero, skips the walk the soundness argument says is unnecessary — and
+// stores through component 2 anyway, obstructing the very scanner whose
+// record it never saw. The trip wire is the same lost-help shape as the
+// unpinned-epoch scenario: the scanner's final view shows the walker's
+// store (so the walker consulted the summary while the record was
+// demonstrably fully announced and live), yet no help was ever posted and
+// the scan never adopted. On the intact object that outcome is
+// unreachable.
+func earlySummaryDecrementScenario(mutate bool) sched.Scenario {
+	return func(c *sched.Controller) sched.Oracle {
+		o := NewLockFree[int64](3).Instrument(c)
+		o.reg.earlySummaryDecrement = mutate
+		rec := &spec.Recorder[int64]{}
+		var mu sync.Mutex
+		var opErrs []error
+		fail := func(err error) {
+			mu.Lock()
+			opErrs = append(opErrs, err)
+			mu.Unlock()
+		}
+		setupErr := func(format string, args ...any) sched.Oracle {
+			err := fmt.Errorf(format, args...)
+			return func(sched.Trace) error { return err }
+		}
+		record := func(kind spec.Kind, start int64, comps []int, vals []int64, id uint64) {
+			rec.Add(spec.Op[int64]{Kind: kind, Start: start, End: rec.Now(),
+				Comps: comps, Vals: vals, UpdateID: id})
+		}
+
+		// Seed and drive the scanner into its announced collect gap.
+		start := rec.Now()
+		seedOp, err := o.UpdateOp([]int{1, 2}, []int64{20, 30})
+		if err != nil {
+			return setupErr("seed update: %v", err)
+		}
+		record(spec.Update, start, []int{1, 2}, []int64{20, 30}, seedOp)
+
+		var info ScanInfo
+		var scanVals []int64
+		c.Spawn("scanner", func() {
+			start := rec.Now()
+			vals, si, err := o.PartialScanInfo([]int{1, 2})
+			if err != nil {
+				fail(fmt.Errorf("scanner: %w", err))
+				return
+			}
+			scanVals, info = vals, si
+			rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(),
+				Comps: []int{1, 2}, Vals: vals, AdoptedFrom: si.HelperOp})
+		})
+		if _, ok := c.StepUntil("scanner", sched.PostFirstCollect); !ok {
+			return setupErr("scanner finished before its fast collect gap")
+		}
+		start = rec.Now()
+		obstructOp, err := o.UpdateOp([]int{2}, []int64{31})
+		if err != nil {
+			return setupErr("obstructing update: %v", err)
+		}
+		record(spec.Update, start, []int{2}, []int64{31}, obstructOp)
+		if _, ok := c.StepUntil("scanner", sched.PostAnnounce); !ok {
+			return setupErr("scanner finished without announcing")
+		}
+		if _, ok := c.StepUntil("scanner", sched.PostFirstCollect); !ok {
+			return setupErr("scanner finished before its announced collect gap")
+		}
+
+		// The walker: spawned after the announcement, so its summary load is
+		// oblige-to-walk by construction. The search explores from here.
+		c.Spawn("walker", func() {
+			start := rec.Now()
+			id, err := o.UpdateOp([]int{2}, []int64{333})
+			if err != nil {
+				fail(fmt.Errorf("walker: %w", err))
+				return
+			}
+			record(spec.Update, start, []int{2}, []int64{333}, id)
+		})
+
+		return func(tr sched.Trace) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if len(opErrs) > 0 {
+				return opErrs[0]
+			}
+			ops := rec.Ops()
+			if err := spec.Check(3, ops); err != nil {
+				return fmt.Errorf("schedule rejected by spec: %w", err)
+			}
+			if err := spec.CheckProvenance(ops); err != nil {
+				return fmt.Errorf("schedule rejected by provenance check: %w", err)
+			}
+			if scanVals == nil {
+				return nil // schedule ended before the scan completed
+			}
+			if scanVals[1] == 333 && !info.Adopted && o.Stats().HelpsPosted == 0 {
+				return fmt.Errorf(
+					"lost help obligation: the walker's store obstructed the scanner (final view %v) after a summary read that ran while the record was fully announced and live, yet no help was posted — the announced count was handed back before retirement",
+					scanVals)
+			}
+			return nil
+		}
+	}
+}
+
+// TestMutationEarlySummaryDecrementIsConvicted injects the early summary
+// decrement via its seam and requires the systematic search to find the
+// lost-help-obligation schedule within two preemptions — then shrink and
+// replay it. The control arm runs the identical search against the intact
+// object and must exhaust with every schedule passing: holding the group
+// count for the record's whole live span, not luck, is what makes the
+// summary skip sound.
+func TestMutationEarlySummaryDecrementIsConvicted(t *testing.T) {
+	d := &sched.DFSExplorer{MaxPreemptions: 2, MaxSchedules: 20000, Timeout: 30 * time.Second}
+
+	intact := d.Explore(earlySummaryDecrementScenario(false))
+	if intact.Failure != nil {
+		t.Fatalf("intact protocol failed schedule %d: %v\n%s",
+			intact.Failure.Schedule, intact.Failure.Err, intact.Failure.Trace)
+	}
+	if !intact.Exhausted {
+		t.Fatalf("intact search did not exhaust: %+v", intact)
+	}
+
+	mutated := d.Explore(earlySummaryDecrementScenario(true))
+	if mutated.Failure == nil {
+		t.Fatalf("the searcher cannot fail: early summary decrement survived %d schedules at preemption bound %d",
+			mutated.Schedules, d.MaxPreemptions)
+	}
+	f := mutated.Failure
+	if len(f.Trace) > len(f.RawTrace) {
+		t.Fatalf("shrunk trace grew: %d > %d steps", len(f.Trace), len(f.RawTrace))
+	}
+	if _, err := d.Replay(earlySummaryDecrementScenario(true), f.Trace); err == nil {
+		t.Fatalf("shrunk failing trace replayed clean:\n%s", f.Trace)
+	}
+	// The intact object sails through the mutant-killing schedule. Tolerant
+	// replay: the intact walker takes extra yield points (it walks the slot
+	// and helps where the mutant skipped), so strict positions cannot apply.
+	c := sched.NewController()
+	intactOracle := earlySummaryDecrementScenario(false)(c)
+	got, err := sched.ReplayTrace(c, f.Trace, false)
+	if err != nil {
+		t.Fatalf("tolerant replay on the intact object broke down: %v", err)
+	}
+	if err := intactOracle(got); err != nil {
+		t.Fatalf("intact object failed the mutant-killing schedule: %v\n%s", err, got)
+	}
+	t.Logf("mutant caught at schedule %d/%d: %v\nshrunk trace (%d steps):\n%s",
+		f.Schedule, mutated.Schedules, f.Err, len(f.Trace), f.Trace)
+}
+
 // unpinnedEpochScenario stages the smallest state in which walking the
 // wrong epoch's registry loses a help obligation. Deterministic setup
 // (scripted, not explored):

@@ -27,8 +27,18 @@ import (
 // components sees that record once per shared slot, and the walk dedups
 // (helpIntersectingScans keeps the per-walk seen list).
 //
+// A per-group quiescence summary sits in front of the slots (slotGroup in
+// epoch.go): enroll raises each named component's group count before
+// linking, retire lowers it after the done flag, and an updater loads the
+// count once per written group — when it reads zero, every slot of the
+// group it would walk is provably free of live enrollments and the walk is
+// skipped outright (see helpIntersectingScans).
+//
 // Retirement is logical (rec.done) and unlinking is lazy and per-slot: the
-// next walker or enroller of a slot unlinks retired enrollments it passes.
+// retiring owner sweeps consecutive stale enrollments off its own slots'
+// heads (sweepStale — quiescent updates skip the slots, so somebody must),
+// and the next walker or enroller of a slot unlinks retired enrollments it
+// passes.
 // A record can therefore be gone from one slot while still linked in
 // another; walkers skip done records, so a reader that reaches a record
 // through a stale slot never helps it. Unlink CASes can lose to each other
@@ -86,14 +96,26 @@ type registry[V any] struct {
 	live    atomic.Int64  // records enrolled and not yet retired
 	deduped atomic.Uint64 // walk encounters skipped as already seen
 
+	// earlySummaryDecrement, when true, makes enroll give every slot
+	// group's announced count straight back after raising it (and retire
+	// skip its decrement) — as if the summary guarded only the enrollment
+	// window instead of the record's whole live span. A fully announced,
+	// still-live record then sits in slots whose groups read zero, so
+	// updaters skip the walk and the scan loses its help obligation. It
+	// exists ONLY as a mutation seam for the model-checking tests that
+	// prove the searcher convicts that lost obligation; production
+	// registries always leave it false.
+	earlySummaryDecrement bool
+
 	// yield is the schedule-injection hook, nil outside instrumented
 	// tests. It fires at sched.PostEnroll after each per-slot enrollment,
-	// at sched.PreUnlink before each lazy-unlink CAS, and at
-	// sched.PreVisit once per enrollment a walk loads, so the
-	// half-enrolled windows, the unlink races (two walkers unlinking the
-	// same retired enrollment; an unlinker racing a fresh enroller) and
-	// the retire-and-recycle-under-a-walker races are scriptable rather
-	// than yield-point gaps.
+	// at sched.PreUnlink before each lazy-unlink CAS (walk-path,
+	// enroll-time and retire-sweep unlinks alike), and at sched.PreVisit
+	// once per enrollment a walk loads, so the half-enrolled windows, the
+	// unlink races (two walkers unlinking the same retired enrollment; an
+	// unlinker racing a fresh enroller) and the
+	// retire-and-recycle-under-a-walker races are scriptable rather than
+	// yield-point gaps.
 	yield func(p sched.Point, arg int)
 
 	// release drops a walker's pin on a record (set by the owning
@@ -106,6 +128,15 @@ type registry[V any] struct {
 // unlinking retired enrollments at each slot head.
 func (r *registry[V]) enroll(rec *scanRecord[V]) {
 	r.live.Add(1)
+	// Raise every named component's slot-group summary BEFORE any head CAS
+	// makes an enrollment findable. The order is the skip's soundness: an
+	// updater that reads a zero count afterwards read it before this raise,
+	// hence before every link — it is one of the finitely many pre-walk
+	// updates the termination argument already tolerates (see
+	// helpIntersectingScans and embeddedScan).
+	for _, c := range rec.ids {
+		rec.uni.groups[c>>groupShift].announced.Add(1)
+	}
 	gen := rec.gen.Load() // stable: the enrolling owner holds a reference
 	for _, c := range rec.ids {
 		e := &enrollment[V]{rec: rec, gen: gen}
@@ -128,13 +159,56 @@ func (r *registry[V]) enroll(rec *scanRecord[V]) {
 			r.yield(sched.PostEnroll, c)
 		}
 	}
+	if r.earlySummaryDecrement {
+		// Injected mutation: hand the counts back while the record is still
+		// live, making it summary-invisible — updaters now skip slots that
+		// hold an announced, unhelped scan.
+		for _, c := range rec.ids {
+			rec.uni.groups[c>>groupShift].announced.Add(-1)
+		}
+	}
 }
 
-// retire marks rec completed. Its enrollments stay linked until the next
-// walk or enroll of each slot unlinks them lazily.
+// retire marks rec completed and lowers its slot-group summaries. The
+// decrement comes strictly AFTER the done flag: between the two a group
+// may read nonzero for a record that no longer needs help (a wasted walk),
+// but a group can never read zero while some linked record still does.
+// Enrollments stay linked until the retire-side sweep or the next walk or
+// enroll of each slot unlinks them.
 func (r *registry[V]) retire(rec *scanRecord[V]) {
 	rec.done.Store(true)
 	r.live.Add(-1)
+	if !r.earlySummaryDecrement {
+		// rec.uni.groups are the very group objects enroll raised (aliased
+		// across any epochs installed since), so the counts conserve.
+		for _, c := range rec.ids {
+			rec.uni.groups[c>>groupShift].announced.Add(-1)
+		}
+	}
+}
+
+// sweepStale pops consecutive stale enrollments off the head of every slot
+// rec names. The retiring owner runs it right after retire: with the
+// quiescence summary in place, updaters skip quiet groups' slots entirely
+// and no longer unlink lazily there, so without this sweep the last
+// retired enrollments of a slot would linger until the next announcement.
+// Popping only from the head is enough for hygiene — a live head keeps its
+// group's count nonzero, so walks (which unlink mid-chain) still happen
+// there — and the final retirement of a fully-stale chain drains it.
+func (r *registry[V]) sweepStale(rec *scanRecord[V]) {
+	for _, c := range rec.ids {
+		s := rec.uni.slots[c]
+		for {
+			head := s.head.Load()
+			if head == nil || !head.stale() {
+				break
+			}
+			if r.yield != nil {
+				r.yield(sched.PreUnlink, c)
+			}
+			s.head.CompareAndSwap(head, head.next.Load())
+		}
+	}
 }
 
 // walkSlot visits every live record enrolled in component c's slot, newest

@@ -43,12 +43,16 @@ func (o *LockFree[V]) announce(rec *scanRecord[V]) {
 	o.reg.enroll(rec)
 }
 
-// retire marks rec completed and drops the owner's reference; its per-slot
-// enrollments are unlinked lazily by later walks and enrolls of each slot,
+// retire marks rec completed and drops the owner's reference; the owner
+// sweeps consecutive stale enrollments off its slots' heads (quiescent
+// updates skip those slots, so retirement must drain them — see
+// sweepStale), deeper ones are unlinked lazily by later walks and enrolls,
 // and the record itself returns to the pool once the last pinned helper
-// lets go.
+// lets go. The sweep runs before any pooling path so rec.ids and rec.uni
+// are still this incarnation's.
 func (o *LockFree[V]) retire(rec *scanRecord[V]) {
 	o.reg.retire(rec)
+	o.reg.sweepStale(rec)
 	if o.unsafeEagerRelease {
 		// Test-only mutation seam: return the record to the pool the moment
 		// the owner retires it, ignoring helper pins — the use-after-reuse

@@ -144,11 +144,19 @@ func TestDisjointSetsDoNotInterfere(t *testing.T) {
 	if stats.ScanRetries != 0 || stats.HelpsPosted != 0 || stats.HelpsAdopted != 0 {
 		t.Fatalf("disjoint workload caused interference: %+v (want all zero)", stats)
 	}
-	// The sharded registry makes locality structural: the updaters consulted
-	// their own components' slots on every update and found nothing, because
-	// the scanners never announced anywhere — let alone in those slots.
-	if stats.RegistryWalks == 0 {
-		t.Fatalf("updaters never consulted the registry: %+v", stats)
+	// The quiescence summary makes locality structural AND free: the
+	// scanners never announced anywhere, so every updater consultation read
+	// a zero group count and skipped the slot walk outright. Every (update,
+	// component) pair still counts as a consultation — it just lands in
+	// WalksSkipped instead of RegistryWalks.
+	if stats.RegistryWalks != 0 {
+		t.Fatalf("quiescent disjoint workload walked registry slots %d times, want 0 (all skipped): %+v",
+			stats.RegistryWalks, stats)
+	}
+	wantSkips := uint64(4 * updates * len(lower))
+	if stats.WalksSkipped != wantSkips {
+		t.Fatalf("WalksSkipped = %d, want %d (4 workers x %d updates x %d components)",
+			stats.WalksSkipped, wantSkips, updates, len(lower))
 	}
 	if stats.RecordsVisited != 0 {
 		t.Fatalf("disjoint workload visited %d registry records, want 0", stats.RecordsVisited)

@@ -12,21 +12,31 @@ import (
 // enrollment; both are harmless" claim in registry.go was argued, not
 // replayed.
 
-// TestUnlinkRaceTwoWalkersSameEnrollment parks two updaters immediately
-// before their unlink CAS of the *same* retired enrollment, lets them fire
-// in order, and checks the loser's stale CAS neither corrupts the slot nor
-// double-counts: the slot ends empty, stats stay coherent, and both
-// updates complete.
+// TestUnlinkRaceTwoWalkersSameEnrollment parks three unlinkers — two
+// updater walks and the retiring owner's sweep — immediately before their
+// unlink CAS of the *same* retired enrollment, lets them fire in order, and
+// checks the losers' stale CASes neither corrupt the slot nor double-count:
+// the slot ends empty, stats stay coherent, and both updates complete. An
+// auxiliary live record on the group's other slot keeps the quiescence
+// summary nonzero, so the walkers actually walk instead of skipping.
 func TestUnlinkRaceTwoWalkersSameEnrollment(t *testing.T) {
 	ctl := sched.NewController()
 	o := NewLockFree[int64](2).Instrument(ctl)
 
-	// One retired enrollment sits at the head of slot 0.
+	// aux keeps the (single) slot group's announced count nonzero for the
+	// whole script without ever being enrolled in slot 0.
+	aux := o.acquireRecord(o.uni.Load(), []int{1}, 0)
+	o.announce(aux)
+
 	rec := o.acquireRecord(o.uni.Load(), []int{0}, 0)
 	o.announce(rec)
-	o.retire(rec)
-	if n := o.slotLen(0); n != 1 {
-		t.Fatalf("slotLen(0) = %d after retire, want 1 (unlinking is lazy)", n)
+
+	// The owner's retirement sweep parks before popping rec's now-stale
+	// enrollment off slot 0's head; the record is already logically retired
+	// (done flag set, summary count given back).
+	ctl.Spawn("retirer", func() { o.retire(rec) })
+	if arg, ok := ctl.StepUntil("retirer", sched.PreUnlink); !ok || arg != 0 {
+		t.Fatalf("retirer parked at PreUnlink(%d) ok=%v, want arg 0", arg, ok)
 	}
 
 	spawnUpdate := func(name string, val int64) {
@@ -39,28 +49,30 @@ func TestUnlinkRaceTwoWalkersSameEnrollment(t *testing.T) {
 	spawnUpdate("u1", 1)
 	spawnUpdate("u2", 2)
 
-	// Both walkers load the same head and park before their unlink CAS.
+	// Both walkers read aux's nonzero summary, load the same stale head and
+	// park before their unlink CAS.
 	for _, name := range []string{"u1", "u2"} {
 		if arg, ok := ctl.StepUntil(name, sched.PreUnlink); !ok || arg != 0 {
 			t.Fatalf("%s parked at PreUnlink(%d) ok=%v, want arg 0", name, arg, ok)
 		}
 	}
-	// u1 wins the unlink; u2's CAS fires against a head that already moved
-	// and must lose without damage.
+	// u1 wins the unlink; u2's and the retirer's CASes fire against a head
+	// that already moved and must lose without damage.
 	ctl.RunToCompletion("u1")
 	ctl.RunToCompletion("u2")
+	ctl.RunToCompletion("retirer")
 
 	if n := o.slotLen(0); n != 0 {
 		t.Fatalf("slotLen(0) = %d after racing unlinks, want 0", n)
 	}
 	st := o.Stats()
-	if st.LiveAnnouncements != 0 {
-		t.Fatalf("LiveAnnouncements = %d, want 0", st.LiveAnnouncements)
+	if st.LiveAnnouncements != 1 {
+		t.Fatalf("LiveAnnouncements = %d, want 1 (aux)", st.LiveAnnouncements)
 	}
 	if st.RecordsVisited != 0 || st.HelpsPosted != 0 {
 		t.Fatalf("retired record was visited or helped: %+v", st)
 	}
-	// Both stores landed despite the lost CAS.
+	// Both stores landed despite the lost CASes.
 	got, err := o.PartialScan([]int{0})
 	if err != nil {
 		t.Fatal(err)
@@ -68,35 +80,60 @@ func TestUnlinkRaceTwoWalkersSameEnrollment(t *testing.T) {
 	if got[0] != 1 && got[0] != 2 {
 		t.Fatalf("component 0 = %d, want one of the racing updates' values", got[0])
 	}
+	o.retire(aux)
+	if live := o.Stats().LiveAnnouncements; live != 0 {
+		t.Fatalf("LiveAnnouncements = %d after retiring aux, want 0", live)
+	}
 }
 
 // TestUnlinkRaceAgainstEnroller parks a scanner's enrollment mid-cleanup
 // (it found a retired enrollment at the slot head and is about to unlink
-// it) while an updater walks the same slot and unlinks that enrollment
-// first. The enroller's stale CAS must fail cleanly and its own record
+// it) and a retiring owner's sweep before the same CAS, while an updater
+// walks the same slot and unlinks that enrollment first. The enroller's and
+// the retirer's stale CASes must fail cleanly and the enroller's record
 // must still end up enrolled and discoverable by the next walk.
 func TestUnlinkRaceAgainstEnroller(t *testing.T) {
 	ctl := sched.NewController()
 	o := NewLockFree[int64](2).Instrument(ctl)
 
-	old := o.acquireRecord(o.uni.Load(), []int{0}, 0)
-	o.announce(old)
-	o.retire(old)
+	// Two records stack up in slot 0: a (retired first) lingers mid-chain
+	// because b's live enrollment sits above it when a's retirement sweep
+	// runs — head-only popping stops at a live head.
+	a := o.acquireRecord(o.uni.Load(), []int{0}, 0)
+	o.announce(a)
+	b := o.acquireRecord(o.uni.Load(), []int{0}, 0)
+	o.announce(b)
+	o.retire(a)
+	if n := o.slotLen(0); n != 2 {
+		t.Fatalf("slotLen(0) = %d after retiring under a live head, want 2 (a lingers mid-chain)", n)
+	}
 
-	// The retired record is back in the pool, so this acquire recycles it:
-	// the old enrollment is now stale by generation, not by done flag, and
-	// the cleanups below exercise the generation-mismatch unlink path.
+	// a is back in the pool, so this acquire recycles it: a's enrollment is
+	// now stale by generation, not by done flag, and the cleanups below
+	// exercise the generation-mismatch unlink path.
 	fresh := o.acquireRecord(o.uni.Load(), []int{0}, 0)
-	if fresh != old {
+	if fresh != a {
 		t.Fatalf("expected the retired record to be recycled for the fresh announcement")
 	}
+
+	// b's retirement sweep parks before popping b's own now-stale head
+	// enrollment; b is already logically retired.
+	ctl.Spawn("retirer", func() { o.retire(b) })
+	if arg, ok := ctl.StepUntil("retirer", sched.PreUnlink); !ok || arg != 0 {
+		t.Fatalf("retirer parked at PreUnlink(%d) ok=%v, want arg 0", arg, ok)
+	}
+
+	// The enroller raises the summary count, then finds b's stale enrollment
+	// at the head and parks before unlinking it.
 	ctl.Spawn("enroller", func() { o.announce(fresh) })
 	if arg, ok := ctl.StepUntil("enroller", sched.PreUnlink); !ok || arg != 0 {
 		t.Fatalf("enroller parked at PreUnlink(%d) ok=%v, want arg 0", arg, ok)
 	}
 
-	// The updater's walk unlinks the retired enrollment out from under the
-	// parked enroller (uncontrolled goroutine: runs straight through).
+	// The updater's walk (summary nonzero: the enroller already raised it)
+	// unlinks b's stale head AND a's stale-by-generation enrollment out from
+	// under both parked CASes (uncontrolled goroutine: runs straight
+	// through).
 	if err := o.Update([]int{0}, []int64{7}); err != nil {
 		t.Fatal(err)
 	}
@@ -109,6 +146,12 @@ func TestUnlinkRaceAgainstEnroller(t *testing.T) {
 	ctl.RunToCompletion("enroller")
 	if n := o.slotLen(0); n != 1 {
 		t.Fatalf("slotLen(0) = %d after enroll, want the fresh record linked", n)
+	}
+	// The retirer's sweep CAS fails against the moved head too; it must
+	// stop at the live head instead of popping it.
+	ctl.RunToCompletion("retirer")
+	if n := o.slotLen(0); n != 1 {
+		t.Fatalf("slotLen(0) = %d after the retirer's lost CAS, want the fresh record still linked", n)
 	}
 	if live := o.Stats().LiveAnnouncements; live != 1 {
 		t.Fatalf("LiveAnnouncements = %d, want 1", live)

@@ -41,6 +41,12 @@ const (
 	// shape that keeps announcements live and forces updaters through the
 	// helping path.
 	ScanHeavy Shape = "scan-heavy"
+	// UpdateHeavy is pure update traffic: no worker ever scans, so no
+	// announcement is ever live and every updater's registry consultation
+	// resolves through the quiescence summary's skip — the shape that
+	// measures the uncontended update fast path (and, on implementations
+	// without the summary, the per-update registry tax it removes).
+	UpdateHeavy Shape = "update-heavy"
 	// Churn runs uniform-style traffic over a breathing universe: worker 0
 	// interleaves alternating Grow/Shrink ops (every ResizeEvery-th op) that
 	// oscillate the component count between n and n+flex, flex =
@@ -58,7 +64,7 @@ const (
 
 // Shapes lists every named shape, in the order test matrices iterate them.
 func Shapes() []Shape {
-	return []Shape{Uniform, Zipfian, Partitioned, BatchHeavy, ScanHeavy, Churn, FlashCrowd}
+	return []Shape{Uniform, Zipfian, Partitioned, BatchHeavy, ScanHeavy, UpdateHeavy, Churn, FlashCrowd}
 }
 
 // Resizes reports whether the shape emits Grow/Shrink operations over a
@@ -125,6 +131,12 @@ func (c Config) shapeDefaults() Config {
 		def(&c.UpdateWidth, 1)
 		if c.ScanFrac < 0 {
 			c.ScanFrac = 0.9
+		}
+	case UpdateHeavy:
+		def(&c.ScanWidth, 1)
+		def(&c.UpdateWidth, 2)
+		if c.ScanFrac < 0 {
+			c.ScanFrac = 0
 		}
 	default:
 		def(&c.ScanWidth, 4)

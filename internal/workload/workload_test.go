@@ -105,8 +105,12 @@ func TestOpsAreWellFormed(t *testing.T) {
 					}
 				}
 			}
-			if scans == 0 || updates == 0 {
-				t.Fatalf("shape %s generated %d scans / %d updates, want a mix", shape, scans, updates)
+			// Degenerate fractions are pure streams by construction; every
+			// other shape must produce a mix.
+			wantScans, wantUpdates := cfg.ScanFrac > 0, cfg.ScanFrac < 1
+			if (scans > 0) != wantScans || (updates > 0) != wantUpdates {
+				t.Fatalf("shape %s (frac %v) generated %d scans / %d updates, want scans=%v updates=%v",
+					shape, cfg.ScanFrac, scans, updates, wantScans, wantUpdates)
 			}
 			if cfg.Shape.Resizes() {
 				// Worker 0 emitted 200 ops at the default cadence of 4:
@@ -300,7 +304,7 @@ func TestFlashCrowdRushesTheFrontier(t *testing.T) {
 // TestNextReusesBuffers: the hot path the benchmark loop sits on must not
 // allocate per operation.
 func TestNextReusesBuffers(t *testing.T) {
-	for _, shape := range []Shape{Uniform, Zipfian, Partitioned, Churn, FlashCrowd} {
+	for _, shape := range []Shape{Uniform, Zipfian, Partitioned, UpdateHeavy, Churn, FlashCrowd} {
 		g, err := New(baseConfig(shape))
 		if err != nil {
 			t.Fatal(err)
