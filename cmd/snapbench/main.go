@@ -150,6 +150,9 @@ func run(scenario string, impls []string, goroutines, components, scanWidths []i
 							contention += fmt.Sprintf(" optimistic=%d escalated=%d torn=%d",
 								s.OptimisticScans, s.Escalations, s.TornReads)
 						}
+						if res.Stats.ViewsDiscarded > 0 {
+							contention += fmt.Sprintf(" views_discarded=%d", res.Stats.ViewsDiscarded)
+						}
 					}
 					allocs := ""
 					if res.AllocsPerOp != nil {

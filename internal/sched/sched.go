@@ -155,6 +155,17 @@ const (
 	// arg = the number of optimistic attempts consumed. Scripts park here to
 	// race the escalation against resizes and writes.
 	PreEscalate Point = "pre-escalate"
+
+	// PreEpochRecheck fires after a pinned scan completed a view (a clean
+	// double collect or an adopted one) and before the universe-pointer
+	// re-load that decides whether the view survives: if a resize installed
+	// since the pin and any named component no longer aliases the pinned
+	// epoch's register, the view is discarded and the scan retakes under
+	// the current epoch (see scanPinned). arg = the pinned universe's
+	// epoch. Scripts park a scan here to slide a Shrink (and the write that
+	// would make the stale view observable) into the window the recheck
+	// exists to close.
+	PreEpochRecheck Point = "pre-epoch-recheck"
 )
 
 // Scheduler receives yield callbacks from instrumented code. Yield must be

@@ -689,3 +689,147 @@ func TestDFSWorkloadScenarioWithSleepSets(t *testing.T) {
 	}
 	t.Logf("disjoint-partition space under sleep sets: %+v", rep)
 }
+
+// recheckChurnScenario is the dynamic-universe acceptance scenario for the
+// pinned scan's exit recheck (the mixed-epoch fix in scanPinned): a seeded
+// component 1, a churner whose Shrink(1)+Grow(1) retires and re-creates
+// that component's register, a writer moving the survivor through its
+// aliased register, and a scanner over {1, 0}. Schedules in which the
+// scanner's pinned view straddles the churn must discard at the recheck and
+// retake (counted into discarded via the per-schedule ViewsDiscarded
+// gauge); schedules in which the view completes against an undisturbed
+// universe must return it unrechallenged (counted into clean). The explorer
+// must reach both — a search space in which one of the recheck's outcomes
+// is unreachable would prove nothing about it.
+func recheckChurnScenario(discarded, clean *atomic.Uint64) sched.Scenario {
+	return func(c *sched.Controller) sched.Oracle {
+		o := snapshot.NewLockFree[int64](2).Instrument(c)
+		rec := &spec.Recorder[int64]{}
+		var mu sync.Mutex
+		var opErrs []error
+		var scanDone atomic.Bool
+		fail := func(err error) {
+			mu.Lock()
+			opErrs = append(opErrs, err)
+			mu.Unlock()
+		}
+		setupErr := func(format string, args ...any) sched.Oracle {
+			err := fmt.Errorf(format, args...)
+			return func(sched.Trace) error { return err }
+		}
+
+		// Scripted seed, uncontrolled: component 1 holds a value the churn
+		// will kill, so a stale view is observably stale.
+		start := rec.Now()
+		seedOp, err := o.UpdateOp([]int{1}, []int64{workload.Value(4, 1)})
+		if err != nil {
+			return setupErr("seed update: %v", err)
+		}
+		rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
+			Comps: []int{1}, Vals: []int64{workload.Value(4, 1)}, UpdateID: seedOp})
+
+		c.Spawn("scanner", func() {
+			start := rec.Now()
+			vals, info, err := o.PartialScanInfo([]int{1, 0})
+			if err != nil {
+				if errors.Is(err, snapshot.ErrBadComponent) {
+					// Pinned (or retook under) the shrunk single-component
+					// epoch: the rejection linearizes there — a legal
+					// outcome, not a history event.
+					return
+				}
+				fail(fmt.Errorf("scanner: %w", err))
+				return
+			}
+			scanDone.Store(true)
+			rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(),
+				Comps: []int{1, 0}, Vals: vals, AdoptedFrom: info.HelperOp})
+		})
+		c.Spawn("churner", func() {
+			start := rec.Now()
+			size, err := o.Shrink(1)
+			if err != nil {
+				fail(fmt.Errorf("churner Shrink: %w", err))
+				return
+			}
+			rec.Add(spec.Op[int64]{Kind: spec.Shrink, Start: start, End: rec.Now(), Delta: 1, Size: size})
+			start = rec.Now()
+			size, err = o.Grow(1)
+			if err != nil {
+				fail(fmt.Errorf("churner Grow: %w", err))
+				return
+			}
+			rec.Add(spec.Op[int64]{Kind: spec.Grow, Start: start, End: rec.Now(), Delta: 1, Size: size})
+		})
+		c.Spawn("writer", func() {
+			start := rec.Now()
+			id, err := o.UpdateOp([]int{0}, []int64{workload.Value(4, 0)})
+			if err != nil {
+				fail(fmt.Errorf("writer: %w", err))
+				return
+			}
+			rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
+				Comps: []int{0}, Vals: []int64{workload.Value(4, 0)}, UpdateID: id})
+		})
+
+		base := specOracle(2, o, rec, &mu, &opErrs)
+		return func(tr sched.Trace) error {
+			if err := base(tr); err != nil {
+				return err
+			}
+			if st := o.Stats(); st.ViewsDiscarded > 0 {
+				discarded.Add(1)
+			} else if scanDone.Load() {
+				clean.Add(1)
+			}
+			return nil
+		}
+	}
+}
+
+// TestDFSExhaustsRecheckChurnScenario enumerates the ENTIRE
+// preemption-bounded schedule space of the recheck scenario and requires
+// every schedule to pass the dynamic sequential spec — including every
+// schedule in which the scanner's completed view straddles the
+// Shrink+Grow churn and is discarded and retaken at the exit recheck. Both
+// outcomes of the recheck must be reached: schedules that discard (the view
+// straddled an install of a named component) and schedules that return
+// clean (no install, or the scan pinned after the churn). Within the bound
+// there is no interleaving of the discard/retake logic with updates,
+// helping and resizes that the oracle has not accepted.
+func TestDFSExhaustsRecheckChurnScenario(t *testing.T) {
+	bound := 2
+	if testing.Short() {
+		bound = 1
+	}
+	bound += deepExtra()
+	d := &sched.DFSExplorer{MaxPreemptions: bound, Timeout: dfsTimeout()}
+	var discarded, clean atomic.Uint64
+	rep := d.Explore(recheckChurnScenario(&discarded, &clean))
+	if rep.Failure != nil {
+		f := rep.Failure
+		t.Fatalf("schedule %d failed: %v\nshrunk trace (%d steps):\n%s",
+			f.Schedule, f.Err, len(f.Trace), f.Trace)
+	}
+	if !rep.Exhausted {
+		t.Fatalf("search did not exhaust the preemption-%d space: %+v", bound, rep)
+	}
+	floor := 50
+	if bound == 1 {
+		floor = 20
+	}
+	if rep.Schedules < floor {
+		t.Fatalf("suspiciously small schedule space (%d schedules at bound %d) — did the scenario degenerate?", rep.Schedules, bound)
+	}
+	if rep.BudgetSkips == 0 {
+		t.Fatalf("the preemption bound never pruned anything, scenario too small: %+v", rep)
+	}
+	if discarded.Load() == 0 {
+		t.Fatalf("no schedule exercised the discard/retake path: the recheck was never challenged")
+	}
+	if clean.Load() == 0 {
+		t.Fatalf("no schedule exercised the clean path: every view was discarded, the recheck cannot be vacuous")
+	}
+	t.Logf("exhausted preemption-%d recheck space: %d schedules (%d discarded a view, %d returned clean), %d steps, %d budget-pruned branches",
+		bound, rep.Schedules, discarded.Load(), clean.Load(), rep.Steps, rep.BudgetSkips)
+}

@@ -29,10 +29,21 @@ import (
 // before a resize installed e+1 is, by that very ordering, concurrent with
 // the resize (its interval contains the pin, the resize's contains the
 // install, and pin < install), so linearizing the operation BEFORE the
-// resize is always consistent with real time. Operations that pin e+1
-// validate against — and only ever touch — the new shape. There is no
-// mixed state to observe: each operation sees exactly one epoch's
-// component set.
+// resize is always consistent with real time — PROVIDED everything it
+// observed existed before the install. Pinning alone does not guarantee
+// that for scans: a survivor's register is the SAME object in e and e+1
+// (aliasing), so an update pinned to e+1 stores through a cell a parked
+// epoch-e scan still reads, and a scan whose named set also includes a
+// component the install dropped can stabilise a view mixing that
+// component's frozen pre-install cell with the survivor's post-install
+// write — a view that linearizes neither before the install (it contains
+// a later write) nor after it (the dropped id no longer exists). Making
+// every returned view single-instant across installs is therefore the
+// scanner's job, not the pin's: scanPinned (scan.go) re-loads the
+// universe pointer after each completed view and discards it unless every
+// named component still aliases the pinned epoch's register. Updates need
+// no such recheck — each one writes exactly one epoch's cells, and a
+// write through an aliased cell is a write in every epoch sharing it.
 //
 // Why pinning preserves wait-freedom: the walk-before-store termination
 // argument (see embeddedScan) is restated PER EPOCH. A collect over

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"partialsnapshot/internal/sched"
+	"partialsnapshot/internal/spec"
 )
 
 // The epoch suite pins down the dynamic-universe contract: Grow/Shrink
@@ -215,9 +216,15 @@ func TestHelpAcrossEpochsScripted(t *testing.T) {
 // pinned to epoch 0 is enrolled in slots of components a concurrent Shrink
 // then drops. The scan must still terminate — after the install, no new
 // writer can touch the dropped cells (they reject with ErrBadComponent),
-// so the pinned double collect succeeds and the scan linearizes before the
-// Shrink, observing the removed components' final values. The dropped
-// slots' walk gauges must fold into the stats rather than vanish.
+// so the pinned double collect succeeds. The completed view then hits the
+// epoch recheck: every named component was dropped, so none aliases the
+// current universe's registers and the view is conservatively discarded
+// (components dropped at different installs need not share an instant, and
+// the recheck applies one uniform rule rather than special-casing the
+// single-install history it cannot distinguish). The retake validates the
+// named set against the current epoch and surfaces ErrBadComponent — the
+// rejection linearizes after the Shrink. The dropped slots' walk gauges
+// must still fold into the stats rather than vanish.
 func TestShrinkVsEnrollScripted(t *testing.T) {
 	ctl := sched.NewController()
 	o := NewLockFree[int64](4).Instrument(ctl)
@@ -227,12 +234,9 @@ func TestShrinkVsEnrollScripted(t *testing.T) {
 	walksBefore := o.Stats().RegistryWalks
 
 	var vals []int64
+	var scanErr error
 	ctl.Spawn("scanner", func() {
-		var err error
-		vals, _, err = o.PartialScanInfo([]int{2, 3})
-		if err != nil {
-			t.Errorf("PartialScanInfo: %v", err)
-		}
+		vals, _, scanErr = o.PartialScanInfo([]int{2, 3})
 	})
 	if _, ok := ctl.StepUntil("scanner", sched.PostFirstCollect); !ok {
 		t.Fatal("scanner finished before its first collect gap")
@@ -256,14 +260,21 @@ func TestShrinkVsEnrollScripted(t *testing.T) {
 	if err := o.Update([]int{2}, []int64{99}); !errors.Is(err, ErrBadComponent) {
 		t.Fatalf("post-shrink Update{2}: %v, want ErrBadComponent", err)
 	}
-	// ...so the parked scanner's second announced collect is stable and it
-	// completes unobstructed, seeing the dropped components' final state.
+	// ...so the parked scanner's second announced collect is stable. The
+	// recheck then parks it once with the pinned epoch as arg, discards the
+	// all-dropped view, and the retake's validation rejects.
+	if arg, ok := ctl.StepUntil("scanner", sched.PreEpochRecheck); !ok || arg != 0 {
+		t.Fatalf("scanner recheck park arg = %d (ok=%v), want pinned epoch 0", arg, ok)
+	}
 	ctl.RunToCompletion("scanner")
-	if vals[0] != 31 || vals[1] != 40 {
-		t.Fatalf("pre-shrink-pinned scan = %v, want [31 40]", vals)
+	if !errors.Is(scanErr, ErrBadComponent) {
+		t.Fatalf("scan of fully shrunk set = %v, %v; want ErrBadComponent", vals, scanErr)
 	}
 
 	st := o.Stats()
+	if st.ViewsDiscarded != 1 {
+		t.Fatalf("ViewsDiscarded = %d, want exactly 1 (the all-dropped view)", st.ViewsDiscarded)
+	}
 	if st.LiveAnnouncements != 0 {
 		t.Fatalf("shrink-vs-enroll leaked %d live announcements", st.LiveAnnouncements)
 	}
@@ -328,5 +339,179 @@ func TestEpochPinBoundaryScripted(t *testing.T) {
 	ctl.RunToCompletion("scanner")
 	if !errors.Is(scanErr, ErrBadComponent) {
 		t.Fatalf("scan pinned after Shrink: %v, want ErrBadComponent", scanErr)
+	}
+}
+
+// runMixedEpochShrinkScan stages the mixed-epoch interleaving ROADMAP item
+// #2 suspected and ISSUE 9 closes, with the recheck seam toggled by mutate:
+// a scanner over {1, 0} pins epoch 0 and parks in its collect gap holding
+// {1: 20, 0: zero-cell}; a Shrink(1)+Grow(1) churn retires component 1's
+// register (the regrown one is fresh and zero); a writer pinned to the
+// churned epoch stores 11 into component 0 THROUGH THE ALIASED register the
+// parked scan reads. The resumed scan is obstructed once (component 0's
+// cell moved), announces, and stabilises the view {1: 20, 0: 11} — a pair
+// with no common instant: 20's window closes at the Grow's pseudo-zero
+// write, before 11's opens. With mutate=true (the pre-fix object) that view
+// is returned; with the recheck in place it is discarded — component 1
+// fails the aliasing test — and the scan retakes under the churned epoch.
+// The recorded history plus final state let the caller convict or acquit.
+func runMixedEpochShrinkScan(t *testing.T, mutate bool) (vals []int64, ops []spec.Op[int64], st Stats) {
+	t.Helper()
+	ctl := sched.NewController()
+	o := NewLockFree[int64](2).Instrument(ctl)
+	o.skipEpochRecheck = mutate
+	rec := &spec.Recorder[int64]{}
+
+	start := rec.Now()
+	seedOp, err := o.UpdateOp([]int{1}, []int64{20})
+	if err != nil {
+		t.Fatalf("seed update: %v", err)
+	}
+	rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
+		Comps: []int{1}, Vals: []int64{20}, UpdateID: seedOp})
+
+	var scanErr error
+	ctl.Spawn("scanner", func() {
+		start := rec.Now()
+		v, si, err := o.PartialScanInfo([]int{1, 0})
+		if err != nil {
+			scanErr = err
+			return
+		}
+		vals = v
+		rec.Add(spec.Op[int64]{Kind: spec.Scan, Start: start, End: rec.Now(),
+			Comps: []int{1, 0}, Vals: v, AdoptedFrom: si.HelperOp})
+	})
+	// Park in the fast-path collect gap: the first collect holds component
+	// 1's seeded cell and component 0's zero cell, both of epoch 0.
+	if _, ok := ctl.StepUntil("scanner", sched.PostFirstCollect); !ok {
+		t.Fatal("scanner finished before its first collect gap")
+	}
+
+	// The churn, uncontrolled on the test goroutine: component 1 leaves and
+	// comes back fresh; component 0 survives, its register aliased forward.
+	start = rec.Now()
+	size, err := o.Shrink(1)
+	if err != nil {
+		t.Fatalf("Shrink(1): %v", err)
+	}
+	rec.Add(spec.Op[int64]{Kind: spec.Shrink, Start: start, End: rec.Now(), Delta: 1, Size: size})
+	start = rec.Now()
+	size, err = o.Grow(1)
+	if err != nil {
+		t.Fatalf("Grow(1): %v", err)
+	}
+	rec.Add(spec.Op[int64]{Kind: spec.Grow, Start: start, End: rec.Now(), Delta: 1, Size: size})
+
+	// The writer pins the churned epoch and stores through the survivor's
+	// aliased register — the store the parked scan's second collect sees.
+	start = rec.Now()
+	wOp, err := o.UpdateOp([]int{0}, []int64{11})
+	if err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	rec.Add(spec.Op[int64]{Kind: spec.Update, Start: start, End: rec.Now(),
+		Comps: []int{0}, Vals: []int64{11}, UpdateID: wOp})
+
+	// Resume: the second collect is torn by the writer, the scan announces,
+	// and the announced double collect stabilises {1: 20, 0: 11} — nobody
+	// can write either pinned cell any more. The recheck point fires with
+	// the pinned epoch as arg in both arms; only the intact one acts on it.
+	if arg, ok := ctl.StepUntil("scanner", sched.PreEpochRecheck); !ok || arg != 0 {
+		t.Fatalf("scanner recheck park arg = %d (ok=%v), want pinned epoch 0", arg, ok)
+	}
+	ctl.RunToCompletion("scanner")
+	if scanErr != nil {
+		t.Fatalf("scanner: %v", scanErr)
+	}
+	return vals, rec.Ops(), o.Stats()
+}
+
+// TestMixedEpochScanAcrossShrinkScripted settles ROADMAP item #2 in both
+// directions. The pre-fix arm (recheck seam disabled) returns the stable
+// mixed-epoch view {1: 20, 0: 11} and spec.Check convicts it — the
+// violation is real, pinning alone does not exclude it. The intact arm
+// runs the identical interleaving, discards exactly that view at the
+// recheck, retakes under the churned epoch, and returns {1: 0, 0: 11},
+// which the spec admits (the instant after the Grow and the write).
+func TestMixedEpochScanAcrossShrinkScripted(t *testing.T) {
+	vals, ops, _ := runMixedEpochShrinkScan(t, true)
+	if len(vals) != 2 || vals[0] != 20 || vals[1] != 11 {
+		t.Fatalf("pre-fix scan = %v, want the mixed-epoch view [20 11]", vals)
+	}
+	if err := spec.Check(2, ops); err == nil {
+		t.Fatalf("pre-fix mixed-epoch view %v passed spec.Check; the scripted scenario no longer convicts the bug", vals)
+	} else {
+		t.Logf("pre-fix view convicted: %v", err)
+	}
+
+	vals, ops, st := runMixedEpochShrinkScan(t, false)
+	if len(vals) != 2 || vals[0] != 0 || vals[1] != 11 {
+		t.Fatalf("intact scan = %v, want the retaken view [0 11]", vals)
+	}
+	if err := spec.Check(2, ops); err != nil {
+		t.Fatalf("intact history rejected by spec: %v", err)
+	}
+	if err := spec.CheckProvenance(ops); err != nil {
+		t.Fatalf("intact history rejected by provenance check: %v", err)
+	}
+	if st.ViewsDiscarded != 1 {
+		t.Fatalf("ViewsDiscarded = %d, want exactly 1 (the mixed-epoch view)", st.ViewsDiscarded)
+	}
+	if st.LiveAnnouncements != 0 {
+		t.Fatalf("discard/retake leaked %d live announcements", st.LiveAnnouncements)
+	}
+	if st.Shrinks != 1 || st.Grows != 1 || st.Epoch != 2 {
+		t.Fatalf("epoch counters = %+v, want 1 shrink + 1 grow at epoch 2", st)
+	}
+}
+
+// TestShrinkDuringFullScanScripted is the full-universe instance of the
+// mixed-epoch bug — the easiest to hit, since Scan names every component of
+// its pinned epoch and ANY Shrink drops one of them. A scan over epoch 0's
+// {0, 1} parks mid-collect, a Shrink drops component 1, and a post-install
+// writer moves the survivor. The stabilised pinned view {0: 11, 1: 20}
+// straddles the install, so the recheck discards it; the retake re-resolves
+// the id set from the current universe (this is what the full flag in
+// scanPinned is for) and returns the one-component view — no
+// ErrBadComponent, because a full scan names no fixed ids.
+func TestShrinkDuringFullScanScripted(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewLockFree[int64](2).Instrument(ctl)
+	if err := o.Update([]int{0, 1}, []int64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+
+	var vals []int64
+	var scanErr error
+	ctl.Spawn("scanner", func() {
+		vals, scanErr = o.Scan()
+	})
+	if _, ok := ctl.StepUntil("scanner", sched.PostFirstCollect); !ok {
+		t.Fatal("scanner finished before its first collect gap")
+	}
+	if size, err := o.Shrink(1); err != nil || size != 1 {
+		t.Fatalf("Shrink(1) = %d, %v; want 1, nil", size, err)
+	}
+	// The epoch-1 writer stores through component 0's aliased register.
+	if err := o.Update([]int{0}, []int64{11}); err != nil {
+		t.Fatal(err)
+	}
+	if arg, ok := ctl.StepUntil("scanner", sched.PreEpochRecheck); !ok || arg != 0 {
+		t.Fatalf("scanner recheck park arg = %d (ok=%v), want pinned epoch 0", arg, ok)
+	}
+	ctl.RunToCompletion("scanner")
+	if scanErr != nil {
+		t.Fatalf("Scan: %v", scanErr)
+	}
+	if len(vals) != 1 || vals[0] != 11 {
+		t.Fatalf("post-discard full scan = %v, want [11] (the shrunk universe)", vals)
+	}
+	st := o.Stats()
+	if st.ViewsDiscarded != 1 {
+		t.Fatalf("ViewsDiscarded = %d, want exactly 1", st.ViewsDiscarded)
+	}
+	if st.LiveAnnouncements != 0 {
+		t.Fatalf("full-scan discard leaked %d live announcements", st.LiveAnnouncements)
 	}
 }

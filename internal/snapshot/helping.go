@@ -151,7 +151,12 @@ func (o *LockFree[V]) helpIntersectingScans(u *universe[V], ids []int, op uint64
 // through target.uni, the epoch the target's scanner pinned, not through
 // the helper's own pinned epoch: the view must be consistent in the
 // scanner's universe, and the chained record must be findable by exactly
-// the updates that can obstruct collects of that universe.
+// the updates that can obstruct collects of that universe. A posted view
+// may therefore be epoch-stale by the time it is adopted — a resize can
+// install while the help was being produced — which is fine because the
+// adopting scan's exit recheck (scanPinned) judges adopted views by the
+// same per-component aliasing rule as its own collects, discarding any
+// that straddle an install of a named component.
 func (o *LockFree[V]) embeddedScan(target *scanRecord[V], op uint64) (view []V, depth int, ok bool) {
 	tu := target.uni
 	bufs := o.getBufs(len(target.ids))

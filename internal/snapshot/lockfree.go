@@ -62,6 +62,16 @@ type LockFree[V any] struct {
 	// always leave it false.
 	unpinnedEpoch bool
 
+	// skipEpochRecheck, when true, makes scanPinned return every completed
+	// view without the post-completion universe re-load — the pre-fix bug in
+	// which a scan pinned at epoch e, parked mid-collect across a Shrink,
+	// pairs a shrunk component's frozen cell with a survivor's post-install
+	// write (stored through the aliased register) and returns a stable view
+	// that linearizes nowhere. It exists ONLY as a mutation seam for the
+	// model-checking tests, which assert the spec oracle convicts the
+	// resulting mixed-epoch views; production objects always leave it false.
+	skipEpochRecheck bool
+
 	scanRetries  atomic.Uint64
 	helpsPosted  atomic.Uint64
 	helpsAdopted atomic.Uint64
@@ -72,6 +82,12 @@ type LockFree[V any] struct {
 	// unnecessary (see helpIntersectingScans), sharded like the op-id
 	// counters so the quiescent fast path never touches a slot cache line.
 	walksSkipped [opShards]paddedUint64
+
+	// viewsDiscarded counts completed scan views thrown away by the epoch
+	// recheck because a resize replaced a named component's register
+	// mid-scan (see scanPinned), sharded like the op-id counters so the
+	// discard path shares no counter cache line with unrelated scans.
+	viewsDiscarded [opShards]paddedUint64
 
 	epochInstalls atomic.Uint64
 	grows         atomic.Uint64
@@ -216,14 +232,21 @@ type Stats struct {
 	// Grows and Shrinks split EpochInstalls by direction.
 	Grows   uint64 `json:"grows"`
 	Shrinks uint64 `json:"shrinks"`
+	// ViewsDiscarded counts completed scan views the epoch recheck threw
+	// away because a resize replaced a named component's register between
+	// the scan's pin and its completion (see scanPinned). Zero on every
+	// resize-free workload — the recheck is one relaxed pointer load on the
+	// success path and only ever fires across an install.
+	ViewsDiscarded uint64 `json:"views_discarded"`
 	// OptimisticScans, Escalations and TornReads are the Versioned
 	// implementation's seqlock gauges (always zero for LockFree and
 	// RWMutex): scans completed by a validated optimistic pass, scans that
 	// fell back to the wait-free announce-and-help path, and optimistic
-	// attempts (or epoch-crossed slow-path views) discarded as torn. Every
-	// completed scan took exactly one of the two paths, so
-	// OptimisticScans + Escalations reconciles with the scan op count;
-	// see parity_test.go for the per-shape invariants.
+	// attempts aborted by an in-flight writer, a moved stamp or a mid-pass
+	// install (slow-path views invalidated by a resize are counted by
+	// ViewsDiscarded, not here). Every completed scan took exactly one of
+	// the two paths, so OptimisticScans + Escalations reconciles with the
+	// scan op count; see parity_test.go for the per-shape invariants.
 	OptimisticScans uint64 `json:"optimistic_scans"`
 	Escalations     uint64 `json:"escalations"`
 	TornReads       uint64 `json:"torn_reads"`
@@ -252,6 +275,9 @@ func (o *LockFree[V]) Stats() Stats {
 	}
 	for i := range o.walksSkipped {
 		st.WalksSkipped += o.walksSkipped[i].v.Load()
+	}
+	for i := range o.viewsDiscarded {
+		st.ViewsDiscarded += o.viewsDiscarded[i].v.Load()
 	}
 	return st
 }

@@ -207,6 +207,15 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 					if st.LiveAnnouncements != 0 {
 						t.Fatalf("%s leaked %d live announcements", shape, st.LiveAnnouncements)
 					}
+					// ViewsDiscarded counts pinned views invalidated by a
+					// resize install; without installs the exit recheck can
+					// never fail, so on every resize-free shape the gauge
+					// must read exactly zero — for both the bare lock-free
+					// object and the versioned front's escalated path.
+					if !shape.Resizes() && st.ViewsDiscarded != 0 {
+						t.Fatalf("%s discarded %d views with no resizes in the workload: %+v",
+							shape, st.ViewsDiscarded, st)
+					}
 					// Consultations split into walks (group summary nonzero)
 					// and summary-elided skips; the sequential arm runs one
 					// op at a time, so most groups read quiescent.
@@ -275,8 +284,8 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 						// escalates.
 						t.Fatalf("partitioned versioned scans tore: %+v", st)
 					}
-					t.Logf("%s/%s: %d ops, %d optimistic, %d escalated, %d torn",
-						shape, impl, len(ops), st.OptimisticScans, st.Escalations, st.TornReads)
+					t.Logf("%s/%s: %d ops, %d optimistic, %d escalated, %d torn, %d views discarded",
+						shape, impl, len(ops), st.OptimisticScans, st.Escalations, st.TornReads, st.ViewsDiscarded)
 				})
 			}
 			if t.Failed() {
@@ -440,13 +449,16 @@ func TestParitySequentialSemantics(t *testing.T) {
 			if !reflect.DeepEqual(fa, fb) || !reflect.DeepEqual(fa, fc) {
 				t.Fatalf("final states diverged:\nlockfree  %v\nrwmutex   %v\nversioned %v", fa, fb, fc)
 			}
-			if st := lf.Stats(); st.ScanRetries != 0 || st.HelpsPosted != 0 {
+			// ViewsDiscarded must stay zero even though the op stream
+			// resizes: one op at a time means no scan is ever in flight
+			// across an install, so the exit recheck always passes.
+			if st := lf.Stats(); st.ScanRetries != 0 || st.HelpsPosted != 0 || st.ViewsDiscarded != 0 {
 				t.Fatalf("sequential workload triggered the concurrency machinery: %+v", st)
 			}
 			// With no concurrency every Versioned scan — including the final
 			// full Scan — validates on its first optimistic attempt: the
 			// gauges must show a clean sweep.
-			if st := vs.Stats(); st.Escalations != 0 || st.TornReads != 0 || st.OptimisticScans != scansDone+1 {
+			if st := vs.Stats(); st.Escalations != 0 || st.TornReads != 0 || st.ViewsDiscarded != 0 || st.OptimisticScans != scansDone+1 {
 				t.Fatalf("sequential versioned scans escaped the fast path: %d scans, stats %+v", scansDone+1, st)
 			}
 		})

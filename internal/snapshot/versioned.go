@@ -49,11 +49,14 @@ import (
 // resize was installed since the pin — the attempt ran entirely within one
 // epoch and cannot have combined a retired epoch's stale cell with a live
 // write (the mixed-epoch torn view the mutation test convicts when the
-// validation seam is disabled). The escalated path applies the same rule:
-// a slow-path view produced under a since-replaced universe is discarded
-// and retaken, so each retake is caused by a successful resize install —
-// lock-free under epoch churn, wait-free per epoch, the same progress
-// class as Grow and Shrink themselves.
+// validation seam is disabled). The escalated path inherits the refined
+// per-component version of the same rule from LockFree's scanPinned: a
+// slow-path view survives a mid-scan install iff every named component
+// still aliases the pinned epoch's register (a pure Grow over the named
+// set passes; a Shrink touching it discards and retakes, counted by
+// Stats.ViewsDiscarded), so each retake is caused by a successful resize
+// install — lock-free under epoch churn, wait-free per epoch, the same
+// progress class as Grow and Shrink themselves.
 type Versioned[V any] struct {
 	lf *LockFree[V]
 
@@ -286,31 +289,25 @@ func (o *Versioned[V]) scanVersioned(ids []int, full bool) ([]V, ScanInfo, error
 	}
 	lf.yield(sched.PreEscalate, o.maxAttempts)
 	o.escalations.Add(1)
-	for {
-		// The wait-free slow path, inherited unchanged from LockFree: pin,
-		// announce, double collect, adopt posted help. It allocates its own
-		// result, so a scan that burned a positive optimistic budget first
-		// pays one extra result-sized allocation — the price of losing the
-		// optimistic bet, not of the steady state (a zero budget goes
-		// straight here at exactly the LockFree cost). One addition: a view
-		// produced under a universe that was replaced mid-scan is discarded
-		// — it may pair a retired epoch's stale cell with a live write, the
-		// same mixed-epoch hazard the optimistic validation rejects. Each
-		// retake is caused by a successful resize install, so the loop is
-		// lock-free under churn and wait-free per epoch.
-		u := lf.pin()
-		if full {
-			ids = u.all
-		}
-		vals, esc, err := lf.scanPinned(u, ids)
-		info.Retries += esc.Retries
-		if err != nil {
-			return nil, info, err
-		}
-		if lf.uni.Load() == u {
-			info.Adopted, info.HelperOp, info.Depth = esc.Adopted, esc.HelperOp, esc.Depth
-			return vals, info, nil
-		}
-		o.tornReads.Add(1)
+	// The wait-free slow path, inherited unchanged from LockFree: pin,
+	// announce, double collect, adopt posted help. It allocates its own
+	// result, so a scan that burned a positive optimistic budget first
+	// pays one extra result-sized allocation — the price of losing the
+	// optimistic bet, not of the steady state (a zero budget goes
+	// straight here at exactly the LockFree cost). scanPinned carries its
+	// own mixed-epoch defence now (the per-component epoch recheck; see
+	// scan.go), so a view whose named components were replaced by a
+	// mid-scan resize is discarded and retaken inside the call, counted by
+	// Stats.ViewsDiscarded rather than TornReads.
+	u := lf.pin()
+	if full {
+		ids = u.all
 	}
+	vals, esc, err := lf.scanPinned(u, ids, full)
+	info.Retries += esc.Retries
+	if err != nil {
+		return nil, info, err
+	}
+	info.Adopted, info.HelperOp, info.Depth = esc.Adopted, esc.HelperOp, esc.Depth
+	return vals, info, nil
 }

@@ -6,12 +6,15 @@ import (
 	"partialsnapshot/internal/sched"
 )
 
-// Scripted regressions for the two races the seqlock fast path must lose
+// Scripted regressions for the races the seqlock fast path must lose
 // gracefully: a write landing inside the validation window (the scan must
 // tear and retry, never return the mix) and a resize landing inside an
-// escalated scan (the slow-path view must be discarded and retaken under
-// the new epoch). The DFS tests prove no interleaving misbehaves; these
-// pin the two canonical ones step by step so a regression names the exact
+// escalated scan. The escalated path inherits LockFree's per-component
+// recheck: a slow-path view survives a mid-scan install iff every named
+// component still aliases the pinned epoch's register — a pure Grow over
+// the named set passes, a Shrink touching it discards and retakes under
+// the new epoch. The DFS tests prove no interleaving misbehaves; these pin
+// the canonical ones step by step so a regression names the exact
 // transition that broke.
 
 // TestScriptedValidateVsWrite parks the scanner after a clean optimistic
@@ -74,10 +77,11 @@ func TestScriptedValidateVsWrite(t *testing.T) {
 // ladder against a growing object: a write tears its only optimistic
 // attempt (budget 1), it parks at the escalation boundary, and once inside
 // the announced slow path a Grow installs a new epoch in its double-collect
-// gap. The slow-path view was produced under the replaced universe, so the
-// scan must discard it and retake under the grown epoch — the discard loop
-// that keeps an escalated scan from pairing a retired epoch's cell with a
-// live write.
+// gap. Both named components survive the Grow with their registers aliased,
+// so the per-component exit recheck accepts the slow-path view as it
+// stands: a pure Grow over the named set costs the escalated scan nothing.
+// (The optimistic fast path stays strict — ANY install tears it — which is
+// why the strict universe check lives there and the refined one here.)
 func TestScriptedEscalateVsGrow(t *testing.T) {
 	ctl := sched.NewController()
 	o := NewVersioned[int64](2).Instrument(ctl).WithOptimisticAttempts(1)
@@ -117,9 +121,8 @@ func TestScriptedEscalateVsGrow(t *testing.T) {
 	}
 	ctl.RunToCompletion("scanner")
 
-	// The first slow-path view was discarded (its universe was replaced
-	// mid-scan) and the retake under the grown epoch returned the
-	// post-write values.
+	// The slow-path view survived the recheck — both named registers are
+	// aliased across the Grow — and carries the post-write values.
 	if vals == nil || vals[0] != 1 || vals[1] != 20 {
 		t.Fatalf("scan after raced grow = %v, want [1 20]", vals)
 	}
@@ -127,15 +130,90 @@ func TestScriptedEscalateVsGrow(t *testing.T) {
 	if st.Escalations != 1 || st.OptimisticScans != 0 {
 		t.Fatalf("gauges after raced grow = optimistic %d, escalated %d; want 0/1", st.OptimisticScans, st.Escalations)
 	}
-	// Two torn reads: the write that tore the optimistic attempt, and the
-	// grow that invalidated the first slow-path view.
-	if st.TornReads != 2 {
-		t.Fatalf("torn reads = %d, want 2 (one write-torn attempt, one discarded slow-path view)", st.TornReads)
+	// One torn read — the write that tore the optimistic attempt. The Grow
+	// does NOT invalidate the slow-path view: the named set survived intact.
+	if st.TornReads != 1 {
+		t.Fatalf("torn reads = %d, want 1 (only the write-torn optimistic attempt)", st.TornReads)
+	}
+	if st.ViewsDiscarded != 0 {
+		t.Fatalf("ViewsDiscarded = %d, want 0: a pure Grow must not cost the escalated view", st.ViewsDiscarded)
 	}
 	if o.Components() != 3 || o.Epoch() != 1 {
 		t.Fatalf("object after raced grow: n=%d epoch=%d, want 3/1", o.Components(), o.Epoch())
 	}
 	if info.Retries < 1 {
 		t.Fatalf("scan info retries = %d, want at least the torn optimistic attempt", info.Retries)
+	}
+}
+
+// TestScriptedEscalateVsShrinkRegrow is the discarding sibling of
+// TestScriptedEscalateVsGrow: the same fallback ladder, but the resize that
+// lands in the escalated scan's collect gap is a Shrink(1)+Grow(1) that
+// retires component 1's register and re-creates it fresh. The slow-path
+// view pairs the pre-churn 20 with a set that no longer exists as observed,
+// so the exit recheck must discard it — counted by ViewsDiscarded, not
+// TornReads — and the retake under the regrown epoch returns the fresh
+// zero.
+func TestScriptedEscalateVsShrinkRegrow(t *testing.T) {
+	ctl := sched.NewController()
+	o := NewVersioned[int64](2).Instrument(ctl).WithOptimisticAttempts(1)
+	if err := o.Update([]int{0, 1}, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var vals []int64
+	ctl.Spawn("scanner", func() {
+		var err error
+		vals, _, err = o.PartialScanInfo([]int{0, 1})
+		if err != nil {
+			t.Errorf("scanner: %v", err)
+		}
+	})
+	if arg, ok := ctl.StepUntil("scanner", sched.PreValidate); !ok || arg != 0 {
+		t.Fatalf("scanner park arg = %d (ok=%v), want attempt 0 at pre-validate", arg, ok)
+	}
+	if err := o.Update([]int{1}, []int64{20}); err != nil {
+		t.Fatal(err)
+	}
+	if arg, ok := ctl.StepUntil("scanner", sched.PreEscalate); !ok || arg != 1 {
+		t.Fatalf("scanner park arg = %d (ok=%v), want escalation after 1 attempt", arg, ok)
+	}
+	// Park in the slow path's collect gap holding {1, 20}, then churn
+	// component 1 away and back: its register retires and comes back fresh.
+	if _, ok := ctl.StepUntil("scanner", sched.PostFirstCollect); !ok {
+		t.Fatalf("escalated scan finished before its collect gap")
+	}
+	if size, err := o.Shrink(1); err != nil || size != 1 {
+		t.Fatalf("Shrink(1) = %d, %v; want 1, nil", size, err)
+	}
+	if size, err := o.Grow(1); err != nil || size != 2 {
+		t.Fatalf("Grow(1) = %d, %v; want 2, nil", size, err)
+	}
+	// The recheck fires with the pinned (pre-churn) epoch as its arg.
+	if arg, ok := ctl.StepUntil("scanner", sched.PreEpochRecheck); !ok || arg != 0 {
+		t.Fatalf("scanner recheck park arg = %d (ok=%v), want pinned epoch 0", arg, ok)
+	}
+	ctl.RunToCompletion("scanner")
+
+	// The stale {1, 20} was discarded — component 1 no longer aliases the
+	// pinned register — and the retake under epoch 2 sees the regrown zero.
+	if vals == nil || vals[0] != 1 || vals[1] != 0 {
+		t.Fatalf("scan after raced shrink+regrow = %v, want [1 0]", vals)
+	}
+	st := o.Stats()
+	if st.TornReads != 1 {
+		t.Fatalf("torn reads = %d, want 1 (only the write-torn optimistic attempt)", st.TornReads)
+	}
+	if st.ViewsDiscarded != 1 {
+		t.Fatalf("ViewsDiscarded = %d, want exactly 1 (the straddling slow-path view)", st.ViewsDiscarded)
+	}
+	if st.Escalations != 1 || st.OptimisticScans != 0 {
+		t.Fatalf("gauges after raced churn = optimistic %d, escalated %d; want 0/1", st.OptimisticScans, st.Escalations)
+	}
+	if st.LiveAnnouncements != 0 {
+		t.Fatalf("discard/retake leaked %d live announcements", st.LiveAnnouncements)
+	}
+	if o.Components() != 2 || o.Epoch() != 2 {
+		t.Fatalf("object after churn: n=%d epoch=%d, want 2/2", o.Components(), o.Epoch())
 	}
 }
