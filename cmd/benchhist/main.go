@@ -127,6 +127,12 @@ func load(paths []string) ([]benchFile, error) {
 		if err := json.Unmarshal(data, &f); err != nil {
 			return nil, fmt.Errorf("%s: %w", p, err)
 		}
+		// Only snapbench matrices belong in the history; other BENCH_*.json
+		// artifacts (e.g. the snapload serving report) carry no cells.
+		if len(f.Results) == 0 {
+			fmt.Fprintf(os.Stderr, "benchhist: skipping %s: no benchmark cells\n", p)
+			continue
+		}
 		f.Path = filepath.Base(p)
 		files = append(files, f)
 	}

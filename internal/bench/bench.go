@@ -80,8 +80,8 @@ func shapeFor(scenario string) (workload.Shape, error) {
 
 // Config describes one benchmark cell.
 type Config struct {
-	// Impl selects the implementation: "lockfree", "versioned" or
-	// "rwmutex".
+	// Impl selects the implementation, any snapshot.Impls() name:
+	// "lockfree", "versioned", "rwmutex" or "sharded".
 	Impl string `json:"impl"`
 	// Scenario selects the workload shape: ScenarioMixed (default, also
 	// selected by "") or any other Scenarios() entry.
@@ -104,6 +104,12 @@ type Config struct {
 	// of the benchdiff cell key: cells with different churn cadences — or a
 	// churn cell and a fixed cell — are never compared against each other.
 	ResizeEvery int `json:"resize_every,omitempty"`
+	// Shards is the shard count of the "sharded" implementation (0 = its
+	// default; must stay 0 for the single-object implementations). Part of
+	// the benchdiff cell key, like ResizeEvery: cells with different shard
+	// geometries are never compared against each other, and the committed
+	// single-object baselines decode it as 0 unchanged.
+	Shards int `json:"shards,omitempty"`
 	// Duration is how long the workload runs.
 	Duration time.Duration `json:"duration_ns"`
 	// Seed makes the workload reproducible.
@@ -144,18 +150,14 @@ type Result struct {
 	Stats *snapshot.Stats `json:"stats,omitempty"`
 }
 
-// NewObject constructs the implementation named by impl.
-func NewObject(impl string, n int) (snapshot.Object[int64], error) {
-	switch impl {
-	case "lockfree":
-		return snapshot.NewLockFree[int64](n), nil
-	case "versioned":
-		return snapshot.NewVersioned[int64](n), nil
-	case "rwmutex":
-		return snapshot.NewRWMutex[int64](n), nil
-	default:
-		return nil, fmt.Errorf("bench: unknown implementation %q (want lockfree, versioned or rwmutex)", impl)
+// NewObject constructs the implementation named by impl through the
+// package factory; opts pass through to snapshot.New.
+func NewObject(impl string, n int, opts ...snapshot.Option) (snapshot.Object[int64], error) {
+	obj, err := snapshot.New[int64](snapshot.Impl(impl), n, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
 	}
+	return obj, nil
 }
 
 // generator validates cfg and builds its workload generator. The resolved
@@ -207,7 +209,11 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	obj, err := NewObject(cfg.Impl, cfg.Components)
+	var opts []snapshot.Option
+	if cfg.Shards > 0 {
+		opts = append(opts, snapshot.WithShards(cfg.Shards))
+	}
+	obj, err := NewObject(cfg.Impl, cfg.Components, opts...)
 	if err != nil {
 		return Result{}, err
 	}
@@ -337,7 +343,7 @@ func runWithObject(obj snapshot.Object[int64], gen *workload.Generator, cfg Conf
 	if ep := firstErr.Load(); ep != nil {
 		return res, fmt.Errorf("bench: worker failed: %w", *ep)
 	}
-	if s, ok := obj.(interface{ Stats() snapshot.Stats }); ok {
+	if s, ok := obj.(snapshot.StatsReader); ok {
 		st := s.Stats()
 		res.Stats = &st
 	}

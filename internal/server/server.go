@@ -1,0 +1,717 @@
+// Package server is snapshotd's serving layer: an HTTP/JSON front end over
+// any snapshot.Object[int64] built by snapshot.New — in production the
+// Sharded store, whose per-shard locality is the paper's disjoint-access
+// argument at service scale (requests naming components of one shard touch
+// only that shard's memory, end to end from the HTTP handler down to the
+// registers).
+//
+// Endpoints:
+//
+//	POST /update      {"ids":[...],"vals":[...]} or {"ops":[{...},{...}]}
+//	POST /scan        {"ids":[...]} or {"all":true}
+//	POST /grow        {"delta":k}
+//	POST /shrink      {"delta":k}
+//	GET  /stats       server + object counters
+//	GET  /conformance run spec.Check over the recorded traffic prefix
+//	GET  /healthz     liveness
+//
+// Errors carry a machine-readable code from the snapshot package's wire
+// taxonomy: bad ids are HTTP 400 {"code":"bad_component"}, infeasible
+// resizes HTTP 409 {"code":"bad_resize"}, malformed requests HTTP 400
+// {"code":"bad_request"}; anything else is a 500 {"code":"internal"}.
+//
+// Two correctness mechanisms ride on every request:
+//
+// Scan cache. The server keys scan results by the requested id set and a
+// vector of per-shard operation counters, bumped after each mutation is
+// applied and before its response is written. A cached view is served only
+// while the counters of every involved shard are unchanged, and a view is
+// inserted only if they did not move across the scan. That is linearizable
+// without peeking into the object: an update that has been applied but not
+// yet bumped its counter has, by construction, not yet been answered — it
+// is still concurrent with the scan request, so serving the pre-update
+// view orders the scan before it, which the interval checker (and any
+// client) must accept. Disjoint-shard updates never invalidate each
+// other's cached scans — locality again.
+//
+// Conformance oracle. The server records a complete prefix of its traffic
+// through spec.Recorder: every operation is recorded until the admission
+// cap, after which writes keep recording for exactly as long as a recorded
+// scan is still in flight (a scan can only observe a write that completed
+// before the scan's own response, so once the last recorded scan has
+// finished, later writes are unobservable by the history and recording
+// closes). The recorded history therefore explains every value any
+// recorded scan can have seen — including cache-served responses, so a
+// stale-cache bug is convicted, not hidden. GET /conformance (and the
+// snapshotd shutdown hook) runs spec.Check over the prefix: the sequential
+// spec as the service's conformance oracle.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partialsnapshot/internal/snapshot"
+	"partialsnapshot/internal/spec"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// MaxRecordedOps is the conformance recording admission cap (<=0 =
+	// DefaultMaxRecordedOps). Recording self-closes shortly after the cap:
+	// see the package comment.
+	MaxRecordedOps int
+	// MaxCacheEntries bounds the scan cache (<=0 = DefaultMaxCacheEntries;
+	// the cache resets when full rather than maintaining an eviction
+	// order — scan keys under the workload shapes recur heavily, so a
+	// periodic cold restart costs little).
+	MaxCacheEntries int
+}
+
+// DefaultMaxRecordedOps is the conformance prefix admission cap.
+const DefaultMaxRecordedOps = 32768
+
+// DefaultMaxCacheEntries bounds the scan cache.
+const DefaultMaxCacheEntries = 4096
+
+// Server serves one snapshot object over HTTP.
+type Server struct {
+	obj  snapshot.Object[int64]
+	impl snapshot.Impl
+
+	// counters holds one mutation counter per shard (one total for the
+	// single-object implementations), the scan cache's invalidation clock.
+	counters []counter
+	shardOf  func(id int) int
+
+	cache scanCache
+	conf  *conformance
+
+	requests    atomic.Uint64
+	badRequests atomic.Uint64
+	rejected    atomic.Uint64
+	resizeBusy  atomic.Uint64
+	internal    atomic.Uint64
+	updates     atomic.Uint64
+	updateOps   atomic.Uint64
+	scans       atomic.Uint64
+	resizes     atomic.Uint64
+}
+
+// counter is a padded per-shard mutation counter so disjoint-shard updates
+// do not false-share the invalidation clock.
+type counter struct {
+	n atomic.Uint64
+	_ [120]byte
+}
+
+// New builds a server over obj. impl is the snapshot.Impl name obj was
+// built with (reported by /stats and used to size the invalidation clock:
+// a *snapshot.Sharded gets one counter per shard).
+func New(obj snapshot.Object[int64], impl snapshot.Impl, cfg Config) *Server {
+	if cfg.MaxRecordedOps <= 0 {
+		cfg.MaxRecordedOps = DefaultMaxRecordedOps
+	}
+	if cfg.MaxCacheEntries <= 0 {
+		cfg.MaxCacheEntries = DefaultMaxCacheEntries
+	}
+	s := &Server{obj: obj, impl: impl}
+	if sh, ok := obj.(*snapshot.Sharded[int64]); ok {
+		s.counters = make([]counter, sh.NumShards())
+		s.shardOf = sh.ShardOf
+	} else {
+		s.counters = make([]counter, 1)
+		s.shardOf = func(int) int { return 0 }
+	}
+	s.cache = scanCache{max: cfg.MaxCacheEntries, entries: map[string]*cacheEntry{}}
+	s.conf = &conformance{cap: int64(cfg.MaxRecordedOps), initial: components(obj)}
+	return s
+}
+
+// components reads the object's current size: the Sharded store reports it
+// directly, the single objects via the length of a full scan.
+func components(obj snapshot.Object[int64]) int {
+	if sh, ok := obj.(*snapshot.Sharded[int64]); ok {
+		return sh.Components()
+	}
+	vals, err := obj.Scan()
+	if err != nil {
+		return 0
+	}
+	return len(vals)
+}
+
+// Handler returns the server's mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/scan", s.handleScan)
+	mux.HandleFunc("/grow", s.handleResize(true))
+	mux.HandleFunc("/shrink", s.handleResize(false))
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/conformance", s.handleConformance)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// ---- wire types ----
+
+// UpdateReq is POST /update's body: either one update (ids/vals) or a
+// batch (ops) — the per-connection batching surface, one round trip for a
+// train of updates. Each op is individually linearizable; the batch as a
+// whole is not atomic (the same contract as Object.Update).
+type UpdateReq struct {
+	IDs  []int    `json:"ids,omitempty"`
+	Vals []int64  `json:"vals,omitempty"`
+	Ops  []OneOp  `json:"ops,omitempty"`
+	_    struct{} // keep the zero value distinguishable in tests
+}
+
+// OneOp is one update of a batch.
+type OneOp struct {
+	IDs  []int   `json:"ids"`
+	Vals []int64 `json:"vals"`
+}
+
+// UpdateResp acknowledges how many updates of the request were applied.
+type UpdateResp struct {
+	Applied int `json:"applied"`
+}
+
+// ScanReq is POST /scan's body: the component ids to read, or all=true for
+// a full snapshot.
+type ScanReq struct {
+	IDs []int `json:"ids,omitempty"`
+	All bool  `json:"all,omitempty"`
+}
+
+// ScanResp carries an atomic view of the requested components. Cached
+// reports whether the view was served from the counter-guarded cache.
+type ScanResp struct {
+	IDs    []int   `json:"ids"`
+	Vals   []int64 `json:"vals"`
+	Cached bool    `json:"cached,omitempty"`
+}
+
+// ResizeReq is POST /grow's and /shrink's body.
+type ResizeReq struct {
+	Delta int `json:"delta"`
+}
+
+// ResizeResp reports the component count after the resize.
+type ResizeResp struct {
+	Components int `json:"components"`
+}
+
+// ErrorResp is every non-2xx body: a human-readable error plus the stable
+// machine code (snapshot.CodeBadComponent, snapshot.CodeBadResize,
+// "bad_request", "internal").
+type ErrorResp struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// StatsResp is GET /stats's body.
+type StatsResp struct {
+	Impl       string `json:"impl"`
+	Components int    `json:"components"`
+	Shards     int    `json:"shards,omitempty"`
+
+	Requests    uint64 `json:"requests"`
+	UpdateReqs  uint64 `json:"update_reqs"`
+	UpdateOps   uint64 `json:"update_ops"`
+	Scans       uint64 `json:"scans"`
+	Resizes     uint64 `json:"resizes"`
+	BadRequests uint64 `json:"bad_requests"`
+	Rejected    uint64 `json:"rejected"`
+	ResizeBusy  uint64 `json:"resize_busy"`
+	Internal    uint64 `json:"internal_errors"`
+
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheStores uint64 `json:"cache_stores"`
+
+	RecordedOps     int             `json:"recorded_ops"`
+	RecordingClosed bool            `json:"recording_closed"`
+	ObjectStats     *snapshot.Stats `json:"object_stats,omitempty"`
+}
+
+// ConformanceResp is GET /conformance's body on success.
+type ConformanceResp struct {
+	CheckedOps      int  `json:"checked_ops"`
+	Components      int  `json:"initial_components"`
+	RecordingClosed bool `json:"recording_closed"`
+	OK              bool `json:"ok"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req UpdateReq
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ops := req.Ops
+	if len(ops) == 0 {
+		if len(req.IDs) == 0 {
+			s.fail(w, http.StatusBadRequest, "bad_request", errors.New("update: ids or ops required"))
+			return
+		}
+		ops = []OneOp{{IDs: req.IDs, Vals: req.Vals}}
+	} else if len(req.IDs) != 0 {
+		s.fail(w, http.StatusBadRequest, "bad_request", errors.New("update: ids and ops are mutually exclusive"))
+		return
+	}
+	applied := 0
+	for _, op := range ops {
+		if err := s.applyUpdate(op.IDs, op.Vals); err != nil {
+			// Batch semantics: earlier ops of the batch stay applied (each
+			// is individually linearizable); the response reports how far
+			// the batch got beside the error.
+			s.failApplied(w, err, applied)
+			return
+		}
+		applied++
+	}
+	s.updates.Add(1)
+	s.reply(w, http.StatusOK, UpdateResp{Applied: applied})
+}
+
+// applyUpdate runs one update through the conformance recorder, the
+// object, and the invalidation clock — in the order the cache's
+// linearizability argument requires: apply, then bump, then (the caller)
+// respond.
+func (s *Server) applyUpdate(ids []int, vals []int64) error {
+	tok := s.conf.admit(spec.Update)
+	start := tok.start()
+	err := s.obj.Update(ids, vals)
+	if err != nil {
+		tok.abort()
+		return err
+	}
+	s.bump(ids)
+	tok.commit(spec.Op[int64]{Kind: spec.Update, Start: start,
+		Comps: append([]int(nil), ids...), Vals: append([]int64(nil), vals...)})
+	s.updateOps.Add(1)
+	return nil
+}
+
+// bump advances the mutation counter of every shard the ids touch.
+func (s *Server) bump(ids []int) {
+	if len(s.counters) == 1 {
+		s.counters[0].n.Add(1)
+		return
+	}
+	last := -1
+	for _, id := range ids {
+		if k := s.shardOf(id); k != last {
+			s.counters[k].n.Add(1)
+			last = k
+		}
+	}
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req ScanReq
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ids := req.IDs
+	if req.All {
+		if len(ids) != 0 {
+			s.fail(w, http.StatusBadRequest, "bad_request", errors.New("scan: ids and all are mutually exclusive"))
+			return
+		}
+		n := components(s.obj)
+		ids = make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	if len(ids) == 0 {
+		s.fail(w, http.StatusBadRequest, "bad_request", errors.New("scan: ids or all required"))
+		return
+	}
+
+	tok := s.conf.admit(spec.Scan)
+	start := tok.start()
+
+	key, buckets := s.cacheKey(ids)
+	pre := s.readCounters(buckets)
+	if vals, ok := s.cache.get(key, pre); ok {
+		tok.commit(spec.Op[int64]{Kind: spec.Scan, Start: start,
+			Comps: append([]int(nil), ids...), Vals: vals})
+		s.scans.Add(1)
+		s.reply(w, http.StatusOK, ScanResp{IDs: ids, Vals: vals, Cached: true})
+		return
+	}
+	vals, err := s.obj.PartialScan(ids)
+	if err != nil {
+		tok.abort()
+		s.failApplied(w, err, 0)
+		return
+	}
+	if post := s.readCounters(buckets); countersEqual(pre, post) {
+		// No mutation completed in any involved shard across the scan: the
+		// view is current as of `post` and may serve until the counters
+		// move.
+		s.cache.put(key, post, vals)
+	}
+	tok.commit(spec.Op[int64]{Kind: spec.Scan, Start: start,
+		Comps: append([]int(nil), ids...), Vals: vals})
+	s.scans.Add(1)
+	s.reply(w, http.StatusOK, ScanResp{IDs: ids, Vals: vals})
+}
+
+func (s *Server) handleResize(grow bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		var req ResizeReq
+		if !s.decode(w, r, &req) {
+			return
+		}
+		kind, apply := spec.Shrink, s.obj.Shrink
+		if grow {
+			kind, apply = spec.Grow, s.obj.Grow
+		}
+		tok := s.conf.admit(kind)
+		start := tok.start()
+		n, err := apply(req.Delta)
+		if err != nil {
+			tok.abort()
+			s.failApplied(w, err, 0)
+			return
+		}
+		// A resize mutates the component range: every cached view whose
+		// validity depends on the range (removed components, fresh zeroes)
+		// lives in the resized shard's bucket — the last shard for the
+		// Sharded store, the single bucket otherwise.
+		s.counters[len(s.counters)-1].n.Add(1)
+		tok.commit(spec.Op[int64]{Kind: kind, Start: start, Delta: req.Delta, Size: n})
+		s.resizes.Add(1)
+		s.reply(w, http.StatusOK, ResizeResp{Components: n})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "bad_request", fmt.Errorf("stats: %s not allowed", r.Method))
+		return
+	}
+	resp := StatsResp{
+		Impl:        string(s.impl),
+		Components:  components(s.obj),
+		Requests:    s.requests.Load(),
+		UpdateReqs:  s.updates.Load(),
+		UpdateOps:   s.updateOps.Load(),
+		Scans:       s.scans.Load(),
+		Resizes:     s.resizes.Load(),
+		BadRequests: s.badRequests.Load(),
+		Rejected:    s.rejected.Load(),
+		ResizeBusy:  s.resizeBusy.Load(),
+		Internal:    s.internal.Load(),
+		CacheHits:   s.cache.hits.Load(),
+		CacheMisses: s.cache.misses.Load(),
+		CacheStores: s.cache.stores.Load(),
+	}
+	resp.RecordedOps, resp.RecordingClosed = s.conf.status()
+	if sh, ok := s.obj.(*snapshot.Sharded[int64]); ok {
+		resp.Shards = sh.NumShards()
+	}
+	if sr, ok := s.obj.(snapshot.StatsReader); ok {
+		st := sr.Stats()
+		resp.ObjectStats = &st
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	resp, err := s.Conformance()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "conformance_failed", err)
+		return
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+// Conformance runs spec.Check over the recorded traffic prefix. It first
+// waits (bounded) for in-flight recorded operations to commit, so the
+// history it checks is causally complete — a recorded scan is never
+// checked before the write it observed is in the history.
+func (s *Server) Conformance() (ConformanceResp, error) {
+	if !s.conf.settle(5 * time.Second) {
+		return ConformanceResp{}, errors.New("conformance: recorded operations still in flight")
+	}
+	ops := s.conf.rec.Ops()
+	if err := spec.Check(s.conf.initial, ops); err != nil {
+		return ConformanceResp{}, fmt.Errorf("conformance: history of %d recorded ops rejected by spec: %w", len(ops), err)
+	}
+	_, closed := s.conf.status()
+	return ConformanceResp{CheckedOps: len(ops), Components: s.conf.initial, RecordingClosed: closed, OK: true}, nil
+}
+
+// ---- plumbing ----
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "bad_request", fmt.Errorf("%s not allowed", r.Method))
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// failApplied maps an Object error to its HTTP status via the snapshot
+// wire taxonomy; applied (>0 only for batches) reports partial progress.
+func (s *Server) failApplied(w http.ResponseWriter, err error, applied int) {
+	switch snapshot.ErrorCode(err) {
+	case snapshot.CodeBadComponent:
+		s.rejected.Add(1)
+		s.failBody(w, http.StatusBadRequest, snapshot.CodeBadComponent, err, applied)
+	case snapshot.CodeBadResize:
+		s.resizeBusy.Add(1)
+		s.failBody(w, http.StatusConflict, snapshot.CodeBadResize, err, applied)
+	default:
+		s.internal.Add(1)
+		s.failBody(w, http.StatusInternalServerError, "internal", err, applied)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, code string, err error) {
+	if status == http.StatusBadRequest || status == http.StatusMethodNotAllowed {
+		s.badRequests.Add(1)
+	} else {
+		s.internal.Add(1)
+	}
+	s.failBody(w, status, code, err, 0)
+}
+
+func (s *Server) failBody(w http.ResponseWriter, status int, code string, err error, applied int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body := struct {
+		ErrorResp
+		Applied int `json:"applied,omitempty"`
+	}{ErrorResp{Error: err.Error(), Code: code}, applied}
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// cacheKey canonicalises an id set into a cache key and the sorted list of
+// counter buckets it involves.
+func (s *Server) cacheKey(ids []int) (string, []int) {
+	var b strings.Builder
+	seen := make(map[int]bool, 4)
+	var buckets []int
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+		if k := s.shardOf(id); !seen[k] {
+			seen[k] = true
+			buckets = append(buckets, k)
+		}
+	}
+	sort.Ints(buckets)
+	return b.String(), buckets
+}
+
+func (s *Server) readCounters(buckets []int) []uint64 {
+	out := make([]uint64, len(buckets))
+	for i, k := range buckets {
+		out[i] = s.counters[k].n.Load()
+	}
+	return out
+}
+
+func countersEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scanCache maps canonical id sets to counter-stamped views.
+type scanCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	stores  atomic.Uint64
+}
+
+type cacheEntry struct {
+	stamps []uint64
+	vals   []int64
+}
+
+// get serves key's view if its stamp vector equals now (the involved
+// shards' counters have not moved since the view was taken).
+func (c *scanCache) get(key string, now []uint64) ([]int64, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok && countersEqual(e.stamps, now) {
+		c.hits.Add(1)
+		return e.vals, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+func (c *scanCache) put(key string, stamps []uint64, vals []int64) {
+	c.mu.Lock()
+	if len(c.entries) >= c.max {
+		// Reset rather than evict: the keys recur, the rebuild is cheap,
+		// and correctness never depends on the cache's contents.
+		c.entries = make(map[string]*cacheEntry, c.max/4)
+	}
+	c.entries[key] = &cacheEntry{stamps: stamps, vals: vals}
+	c.mu.Unlock()
+	c.stores.Add(1)
+}
+
+// conformance is the bounded-prefix recorder: every operation records
+// until the admission cap; past it, writes keep recording exactly while a
+// recorded scan is in flight (see the package comment for the soundness
+// argument), then recording closes for good.
+type conformance struct {
+	rec     spec.Recorder[int64]
+	cap     int64
+	initial int
+
+	mu            sync.Mutex
+	admitted      int64
+	scansInFlight int
+	opsInFlight   int
+	closed        bool
+}
+
+// confToken carries one admitted operation from admission to commit.
+// A zero/nil-conf token (past-close admission) is inert.
+type confToken struct {
+	c    *conformance
+	kind spec.Kind
+	rec  bool
+}
+
+// admit decides, under the prefix protocol, whether this operation is part
+// of the recorded history.
+func (c *conformance) admit(kind spec.Kind) confToken {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return confToken{}
+	}
+	c.admitted++
+	if c.admitted <= c.cap {
+		if kind == spec.Scan {
+			c.scansInFlight++
+		}
+		c.opsInFlight++
+		return confToken{c: c, kind: kind, rec: true}
+	}
+	if kind != spec.Scan && c.scansInFlight > 0 {
+		// Drain: a recorded scan may still observe this write.
+		c.opsInFlight++
+		return confToken{c: c, kind: kind, rec: true}
+	}
+	if c.scansInFlight == 0 {
+		c.closed = true
+	}
+	return confToken{}
+}
+
+// start draws the op's Start timestamp (0 for unrecorded ops — the zero
+// Op is never Added).
+func (t confToken) start() int64 {
+	if !t.rec {
+		return 0
+	}
+	return t.c.rec.Now()
+}
+
+// commit stamps End and adds the op to the history.
+func (t confToken) commit(op spec.Op[int64]) {
+	if !t.rec {
+		return
+	}
+	op.End = t.c.rec.Now()
+	t.c.rec.Add(op)
+	t.c.release(t.kind)
+}
+
+// abort releases an admitted op that failed (rejected operations are
+// tolerated traffic, not history).
+func (t confToken) abort() {
+	if !t.rec {
+		return
+	}
+	t.c.release(t.kind)
+}
+
+func (c *conformance) release(kind spec.Kind) {
+	c.mu.Lock()
+	if kind == spec.Scan {
+		c.scansInFlight--
+		if c.admitted > c.cap && c.scansInFlight == 0 {
+			c.closed = true
+		}
+	}
+	c.opsInFlight--
+	c.mu.Unlock()
+}
+
+// status reports the recorded op count and whether recording has closed.
+func (c *conformance) status() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.rec.Ops()), c.closed
+}
+
+// settle waits until no recorded operation is in flight, so a conformance
+// check never misses a write one of its scans observed.
+func (c *conformance) settle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		inflight := c.opsInFlight
+		c.mu.Unlock()
+		if inflight == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

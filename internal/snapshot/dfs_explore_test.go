@@ -37,7 +37,7 @@ func dfsTimeout() time.Duration {
 // spec.Check, spec.CheckProvenance and announcement hygiene, evaluated
 // after every explored schedule. It accepts any implementation with a
 // Stats surface (the lock-free object or its versioned front).
-func specOracle(components int, o statsObject, rec *spec.Recorder[int64],
+func specOracle(components int, o snapshot.StatsReader, rec *spec.Recorder[int64],
 	mu *sync.Mutex, opErrs *[]error) sched.Oracle {
 	return func(tr sched.Trace) error {
 		mu.Lock()

@@ -1,0 +1,129 @@
+package snapshot_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"partialsnapshot/internal/snapshot"
+)
+
+// TestFactoryMatrix constructs every implementation through the factory
+// and pushes one update/scan round through it — the smoke-level contract
+// every Impls() entry must satisfy.
+func TestFactoryMatrix(t *testing.T) {
+	for _, impl := range snapshot.Impls() {
+		t.Run(string(impl), func(t *testing.T) {
+			obj, err := snapshot.New[int64](impl, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := obj.Update([]int{0, 7}, []int64{10, 70}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := obj.PartialScan([]int{7, 0, 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != 70 || got[1] != 10 || got[2] != 0 {
+				t.Fatalf("scan after update read %v", got)
+			}
+		})
+	}
+}
+
+// TestFactoryRejectsMisuse is the factory's whole point versus the bare
+// constructors: a bad implementation name, a bad size, or an option the
+// selected implementation cannot honour is an error, never a silent no-op.
+func TestFactoryRejectsMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		impl snapshot.Impl
+		n    int
+		opts []snapshot.Option
+	}{
+		{"unknown impl", "spanner", 8, nil},
+		{"zero components", snapshot.ImplLockFree, 0, nil},
+		{"negative components", snapshot.ImplVersioned, -3, nil},
+		{"shards on lockfree", snapshot.ImplLockFree, 8, []snapshot.Option{snapshot.WithShards(2)}},
+		{"shard impl on versioned", snapshot.ImplVersioned, 8, []snapshot.Option{snapshot.WithShardImpl(snapshot.ImplLockFree)}},
+		{"attempts on lockfree", snapshot.ImplLockFree, 8, []snapshot.Option{snapshot.WithOptimisticAttempts(5)}},
+		{"attempts on rwmutex", snapshot.ImplRWMutex, 8, []snapshot.Option{snapshot.WithOptimisticAttempts(5)}},
+		{"attempts on lock-free shards", snapshot.ImplSharded, 8, []snapshot.Option{snapshot.WithOptimisticAttempts(5)}},
+		{"zero shards", snapshot.ImplSharded, 8, []snapshot.Option{snapshot.WithShards(0)}},
+		{"more shards than components", snapshot.ImplSharded, 4, []snapshot.Option{snapshot.WithShards(8)}},
+		{"rwmutex shards", snapshot.ImplSharded, 8, []snapshot.Option{snapshot.WithShardImpl(snapshot.ImplRWMutex)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if obj, err := snapshot.New[int64](tc.impl, tc.n, tc.opts...); err == nil {
+				t.Fatalf("New(%s, %d) accepted the misuse and returned %T", tc.impl, tc.n, obj)
+			}
+		})
+	}
+}
+
+// TestFactoryShardOptions exercises the sharded option surface that IS
+// valid: explicit geometry, versioned shards, and the attempts knob once
+// the shards are versioned.
+func TestFactoryShardOptions(t *testing.T) {
+	obj, err := snapshot.New[int64](snapshot.ImplSharded, 10,
+		snapshot.WithShards(4), snapshot.WithShardImpl(snapshot.ImplVersioned),
+		snapshot.WithOptimisticAttempts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := obj.(*snapshot.Sharded[int64])
+	if !ok {
+		t.Fatalf("New(sharded) returned %T", obj)
+	}
+	if sh.NumShards() != 4 || sh.ShardWidth() != 2 {
+		t.Fatalf("geometry: %d shards of width %d, want 4 of width 2", sh.NumShards(), sh.ShardWidth())
+	}
+	if err := obj.Update([]int{0, 9}, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	// Versioned shards surface the seqlock gauges through the aggregate.
+	st := sh.Stats()
+	if st.OptimisticScans == 0 {
+		t.Fatalf("versioned shards never took the optimistic path: %+v", st)
+	}
+	// The default shard count clamps to the component count on tiny
+	// objects instead of failing construction.
+	tiny, err := snapshot.New[int64](snapshot.ImplSharded, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tiny.(*snapshot.Sharded[int64]).NumShards(); got != 2 {
+		t.Fatalf("default shards on a 2-component object: got %d, want 2", got)
+	}
+}
+
+// TestErrorCode pins the wire taxonomy: the two sentinels map to their
+// codes (wrapped or not), everything else to "".
+func TestErrorCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{snapshot.ErrBadComponent, snapshot.CodeBadComponent},
+		{fmt.Errorf("update: %w", snapshot.ErrBadComponent), snapshot.CodeBadComponent},
+		{snapshot.ErrBadResize, snapshot.CodeBadResize},
+		{fmt.Errorf("shrink by 9: %w", snapshot.ErrBadResize), snapshot.CodeBadResize},
+		{nil, ""},
+		{errors.New("disk on fire"), ""},
+	}
+	for _, tc := range cases {
+		if got := snapshot.ErrorCode(tc.err); got != tc.want {
+			t.Fatalf("ErrorCode(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+	// The codes are what the server maps to HTTP statuses; a rename is a
+	// wire-protocol break, so pin the literals too.
+	if snapshot.CodeBadComponent != "bad_component" || snapshot.CodeBadResize != "bad_resize" {
+		t.Fatalf("wire codes changed: %q, %q", snapshot.CodeBadComponent, snapshot.CodeBadResize)
+	}
+}

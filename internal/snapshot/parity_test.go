@@ -11,40 +11,41 @@ import (
 	"partialsnapshot/internal/workload"
 )
 
-// The parity suite runs the RWMutex reference, the LockFree object and the
-// Versioned optimistic front through IDENTICAL workload shapes — same
-// generator, same seed, same per-worker op streams — and holds all three
-// to the same spec oracle, then diffs what each implementation's
-// invariants promise: equal op counts, equal sequential semantics, the
-// lock-free Stats hygiene per shape, and the Versioned seqlock gauges
-// reconciling exactly with the operation counts.
-
-// infoObject is the surface the parity recorder wants beyond Object:
-// update operation ids for the provenance oracle and scan adoption info.
-// The lock-free object and its versioned front both provide it; the
-// RWMutex reference intentionally does not, and the recorder degrades to
-// the plain Object calls for it.
-type infoObject interface {
-	UpdateOp(ids []int, vals []int64) (uint64, error)
-	PartialScanInfo(ids []int) ([]int64, snapshot.ScanInfo, error)
-}
-
-// statsObject is any implementation exposing progress counters.
-type statsObject interface{ Stats() snapshot.Stats }
+// The parity suite runs the RWMutex reference, the LockFree object, the
+// Versioned optimistic front and the Sharded store through IDENTICAL
+// workload shapes — same generator, same seed, same per-worker op streams
+// — and holds all four to the same spec oracle, then diffs what each
+// implementation's invariants promise: equal op counts, equal sequential
+// semantics, the lock-free Stats hygiene per shape, the Versioned seqlock
+// gauges reconciling exactly with the operation counts, and the Sharded
+// store's cross-shard gauges vanishing when the traffic is partitioned.
+//
+// Every object is built through snapshot.New — the parity matrix IS the
+// factory's implementation list, so a new implementation registered there
+// joins the suite (and its recorder uses the public snapshot.InfoObject /
+// snapshot.StatsReader surfaces, not test-local copies).
 
 // parityImpls is the full implementation matrix; newParityObject builds
-// one cell of it.
-var parityImpls = []string{"lockfree", "versioned", "rwmutex"}
+// one cell of it through the factory.
+var parityImpls = snapshot.Impls()
 
-func newParityObject(impl string, n int) snapshot.Object[int64] {
-	switch impl {
-	case "lockfree":
-		return snapshot.NewLockFree[int64](n)
-	case "versioned":
-		return snapshot.NewVersioned[int64](n)
-	default:
-		return snapshot.NewRWMutex[int64](n)
+// parityShards is the Sharded cell's geometry: 4 shards of width 2 over
+// the 8-component parity object, chosen so the partitioned shape's
+// single-worker pools (width 2) align exactly with shard boundaries —
+// partitioned traffic must then never pay the cross-shard protocol.
+const parityShards = 4
+
+func newParityObject(t *testing.T, impl snapshot.Impl, n int) snapshot.Object[int64] {
+	t.Helper()
+	var opts []snapshot.Option
+	if impl == snapshot.ImplSharded {
+		opts = append(opts, snapshot.WithShards(parityShards))
 	}
+	obj, err := snapshot.New[int64](impl, n, opts...)
+	if err != nil {
+		t.Fatalf("New(%s, %d): %v", impl, n, err)
+	}
+	return obj
 }
 
 // parityCfg sizes one shape's parity cell; widths are explicit where the
@@ -74,7 +75,7 @@ type parityCounts struct {
 func runParityWorkload(t *testing.T, obj snapshot.Object[int64], gen *workload.Generator, opsPerWorker int) ([]spec.Op[int64], parityCounts) {
 	t.Helper()
 	rec := &spec.Recorder[int64]{}
-	io, hasInfo := obj.(infoObject)
+	io, hasInfo := obj.(snapshot.InfoObject[int64])
 	tolerateRejects := gen.Config().Shape.Resizes()
 	var wg sync.WaitGroup
 	var counts parityCounts
@@ -177,14 +178,14 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 	for _, shape := range workload.Shapes() {
 		t.Run(string(shape), func(t *testing.T) {
 			cfg := parityCfg(shape)
-			countsByImpl := map[string]parityCounts{}
+			countsByImpl := map[snapshot.Impl]parityCounts{}
 			for _, impl := range parityImpls {
-				t.Run(impl, func(t *testing.T) {
+				t.Run(string(impl), func(t *testing.T) {
 					gen, err := workload.New(cfg)
 					if err != nil {
 						t.Fatal(err)
 					}
-					obj := newParityObject(impl, cfg.Components)
+					obj := newParityObject(t, impl, cfg.Components)
 					ops, counts := runParityWorkload(t, obj, gen, opsPerWorker)
 					if t.Failed() {
 						return
@@ -196,7 +197,7 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 					if err := spec.CheckProvenance(ops); err != nil {
 						t.Fatalf("%s/%s history rejected by provenance check: %v", shape, impl, err)
 					}
-					so, ok := obj.(statsObject)
+					so, ok := obj.(snapshot.StatsReader)
 					if !ok {
 						// The reference implementation intentionally has no
 						// Stats surface; the parity claim is that it needs
@@ -245,12 +246,22 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 						if st.RecordsVisited != 0 || st.HelpsPosted != 0 || st.ScanRetries != 0 {
 							t.Fatalf("partitioned workload interfered: %+v", st)
 						}
+						// The parity geometry aligns partitions with shards,
+						// so partitioned traffic through the Sharded store is
+						// all single-shard delegation: the composition
+						// protocol must never have run — the paper's
+						// disjoint-access argument at shard granularity.
+						if st.CrossShardScans != 0 || st.CrossShardRetries != 0 {
+							t.Fatalf("partitioned traffic crossed shards: %+v", st)
+						}
 					}
-					if impl == "lockfree" {
-						// The seqlock gauges belong to the versioned front;
-						// on the bare lock-free object they must stay zero.
+					if impl == snapshot.ImplLockFree || impl == snapshot.ImplSharded {
+						// The seqlock gauges belong to the versioned front; on
+						// the bare lock-free object — and on the sharded store,
+						// whose default shards are lock-free — they must stay
+						// zero (the shard stamps have their own gauges).
 						if st.OptimisticScans+st.Escalations+st.TornReads != 0 {
-							t.Fatalf("%s: lockfree bumped seqlock gauges: %+v", shape, st)
+							t.Fatalf("%s/%s bumped seqlock gauges: %+v", shape, impl, st)
 						}
 						return
 					}
@@ -324,13 +335,14 @@ func TestParityAcrossWorkloadShapes(t *testing.T) {
 }
 
 // TestParitySequentialSemantics is the deterministic arm: the same op
-// stream applied round-robin, one op at a time, to all three
-// implementations and the sequential model must leave all four in
+// stream applied round-robin, one op at a time, to every implementation of
+// the factory matrix and the sequential model, which must all stay in
 // byte-identical states and answer every scan identically — batch-
 // atomicity differences between the implementations are invisible without
 // concurrency, so any divergence here is a plain bug. A sequential run
-// also pins the Versioned gauges: with no concurrency every scan
-// validates on its first optimistic attempt.
+// also pins the gauges: with no concurrency every Versioned scan validates
+// on its first optimistic attempt, and every Sharded cross-shard scan
+// composes on its first attempt.
 func TestParitySequentialSemantics(t *testing.T) {
 	for _, shape := range workload.Shapes() {
 		t.Run(string(shape), func(t *testing.T) {
@@ -339,9 +351,10 @@ func TestParitySequentialSemantics(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			lf := snapshot.NewLockFree[int64](cfg.Components)
-			vs := snapshot.NewVersioned[int64](cfg.Components)
-			rw := snapshot.NewRWMutex[int64](cfg.Components)
+			objs := make(map[snapshot.Impl]snapshot.Object[int64], len(parityImpls))
+			for _, impl := range parityImpls {
+				objs[impl] = newParityObject(t, impl, cfg.Components)
+			}
 			scansDone := uint64(0)
 			model := spec.NewModel[int64](cfg.Components)
 			streams := make([][]workload.Op, cfg.Workers)
@@ -349,9 +362,9 @@ func TestParitySequentialSemantics(t *testing.T) {
 				streams[w] = gen.Ops(w, 100)
 			}
 			// outOfRange mirrors the dynamic-universe contract against the
-			// model's current size: an op naming a component at or beyond
-			// it must be rejected with ErrBadComponent by BOTH
-			// implementations — rejection parity is part of the semantics.
+			// model's current size: an op naming a component at or beyond it
+			// must be rejected with ErrBadComponent by EVERY implementation
+			// — rejection parity is part of the semantics.
 			outOfRange := func(comps []int) bool {
 				for _, c := range comps {
 					if c >= model.Components() {
@@ -360,107 +373,130 @@ func TestParitySequentialSemantics(t *testing.T) {
 				}
 				return false
 			}
-			wantReject := func(kind string, comps []int, errA, errB, errC error) {
+			wantReject := func(kind string, comps []int, errs map[snapshot.Impl]error) {
 				t.Helper()
-				if !errors.Is(errA, snapshot.ErrBadComponent) || !errors.Is(errB, snapshot.ErrBadComponent) ||
-					!errors.Is(errC, snapshot.ErrBadComponent) {
-					t.Fatalf("%s%v names a shrunk component (model size %d) but rejections diverged: lockfree %v, rwmutex %v, versioned %v",
-						kind, comps, model.Components(), errA, errB, errC)
+				for impl, err := range errs {
+					if !errors.Is(err, snapshot.ErrBadComponent) {
+						t.Fatalf("%s%v names a shrunk component (model size %d) but %s answered %v",
+							kind, comps, model.Components(), impl, err)
+					}
+				}
+			}
+			wantOK := func(kind string, comps []int, errs map[snapshot.Impl]error) {
+				t.Helper()
+				for impl, err := range errs {
+					if err != nil {
+						t.Fatalf("%s %s%v: %v", impl, kind, comps, err)
+					}
 				}
 			}
 			for k := 0; k < 100; k++ {
 				for w := 0; w < cfg.Workers; w++ {
 					op := streams[w][k]
+					errs := make(map[snapshot.Impl]error, len(objs))
 					switch op.Kind {
 					case workload.OpUpdate:
-						errA := lf.Update(op.Comps, op.Vals)
-						errB := rw.Update(op.Comps, op.Vals)
-						errC := vs.Update(op.Comps, op.Vals)
+						for impl, obj := range objs {
+							errs[impl] = obj.Update(op.Comps, op.Vals)
+						}
 						if outOfRange(op.Comps) {
-							wantReject("Update", op.Comps, errA, errB, errC)
+							wantReject("Update", op.Comps, errs)
 							continue
 						}
-						for impl, err := range map[string]error{"lockfree": errA, "rwmutex": errB, "versioned": errC} {
-							if err != nil {
-								t.Fatalf("%s Update%v: %v", impl, op.Comps, err)
-							}
-						}
+						wantOK("Update", op.Comps, errs)
 						model.Apply(op.Comps, op.Vals)
 					case workload.OpScan:
-						a, errA := lf.PartialScan(op.Comps)
-						b, errB := rw.PartialScan(op.Comps)
-						c, errC := vs.PartialScan(op.Comps)
+						views := make(map[snapshot.Impl][]int64, len(objs))
+						for impl, obj := range objs {
+							views[impl], errs[impl] = obj.PartialScan(op.Comps)
+						}
 						if outOfRange(op.Comps) {
-							wantReject("PartialScan", op.Comps, errA, errB, errC)
+							wantReject("PartialScan", op.Comps, errs)
 							continue
 						}
-						for impl, err := range map[string]error{"lockfree": errA, "rwmutex": errB, "versioned": errC} {
-							if err != nil {
-								t.Fatalf("%s PartialScan%v: %v", impl, op.Comps, err)
-							}
-						}
+						wantOK("PartialScan", op.Comps, errs)
 						scansDone++
 						want := model.Read(op.Comps)
-						if !reflect.DeepEqual(a, want) || !reflect.DeepEqual(b, want) || !reflect.DeepEqual(c, want) {
-							t.Fatalf("sequential scan diverged on %v: lockfree %v, rwmutex %v, versioned %v, model %v",
-								op.Comps, a, b, c, want)
+						for impl, got := range views {
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("sequential scan diverged on %v: %s %v, model %v",
+									op.Comps, impl, got, want)
+							}
 						}
-					case workload.OpGrow:
-						na, errA := lf.Grow(op.Delta)
-						nb, errB := rw.Grow(op.Delta)
-						nc, errC := vs.Grow(op.Delta)
-						nm, errM := model.Grow(op.Delta)
-						if errA != nil || errB != nil || errC != nil || errM != nil {
-							t.Fatalf("Grow(%d) errors diverged: lockfree %v, rwmutex %v, versioned %v, model %v",
-								op.Delta, errA, errB, errC, errM)
+					case workload.OpGrow, workload.OpShrink:
+						kind, apply := "Grow", snapshot.Object[int64].Grow
+						if op.Kind == workload.OpShrink {
+							kind, apply = "Shrink", snapshot.Object[int64].Shrink
 						}
-						if na != nm || nb != nm || nc != nm {
-							t.Fatalf("Grow(%d) sizes diverged: lockfree %d, rwmutex %d, versioned %d, model %d",
-								op.Delta, na, nb, nc, nm)
+						sizes := make(map[snapshot.Impl]int, len(objs))
+						for impl, obj := range objs {
+							sizes[impl], errs[impl] = apply(obj, op.Delta)
 						}
-					case workload.OpShrink:
-						na, errA := lf.Shrink(op.Delta)
-						nb, errB := rw.Shrink(op.Delta)
-						nc, errC := vs.Shrink(op.Delta)
-						nm, errM := model.Shrink(op.Delta)
-						if errA != nil || errB != nil || errC != nil || errM != nil {
-							t.Fatalf("Shrink(%d) errors diverged: lockfree %v, rwmutex %v, versioned %v, model %v",
-								op.Delta, errA, errB, errC, errM)
+						var nm int
+						var errM error
+						if op.Kind == workload.OpGrow {
+							nm, errM = model.Grow(op.Delta)
+						} else {
+							nm, errM = model.Shrink(op.Delta)
 						}
-						if na != nm || nb != nm || nc != nm {
-							t.Fatalf("Shrink(%d) sizes diverged: lockfree %d, rwmutex %d, versioned %d, model %d",
-								op.Delta, na, nb, nc, nm)
+						if errM != nil {
+							t.Fatalf("model %s(%d): %v", kind, op.Delta, errM)
+						}
+						wantOK(kind, nil, errs)
+						for impl, size := range sizes {
+							if size != nm {
+								t.Fatalf("%s(%d) sizes diverged: %s %d, model %d", kind, op.Delta, impl, size, nm)
+							}
 						}
 					}
 				}
 			}
-			fa, err := lf.Scan()
-			if err != nil {
-				t.Fatal(err)
+			finals := make(map[snapshot.Impl][]int64, len(objs))
+			for impl, obj := range objs {
+				finals[impl], err = obj.Scan()
+				if err != nil {
+					t.Fatalf("%s final Scan: %v", impl, err)
+				}
 			}
-			fb, err := rw.Scan()
-			if err != nil {
-				t.Fatal(err)
-			}
-			fc, err := vs.Scan()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(fa, fb) || !reflect.DeepEqual(fa, fc) {
-				t.Fatalf("final states diverged:\nlockfree  %v\nrwmutex   %v\nversioned %v", fa, fb, fc)
+			wantFinal := model.Read(allComps(model.Components()))
+			for impl, got := range finals {
+				if !reflect.DeepEqual(got, wantFinal) {
+					t.Fatalf("final state diverged: %s %v, model %v", impl, got, wantFinal)
+				}
 			}
 			// ViewsDiscarded must stay zero even though the op stream
 			// resizes: one op at a time means no scan is ever in flight
 			// across an install, so the exit recheck always passes.
-			if st := lf.Stats(); st.ScanRetries != 0 || st.HelpsPosted != 0 || st.ViewsDiscarded != 0 {
-				t.Fatalf("sequential workload triggered the concurrency machinery: %+v", st)
+			lfStats := objs[snapshot.ImplLockFree].(snapshot.StatsReader).Stats()
+			if lfStats.ScanRetries != 0 || lfStats.HelpsPosted != 0 || lfStats.ViewsDiscarded != 0 {
+				t.Fatalf("sequential workload triggered the concurrency machinery: %+v", lfStats)
 			}
 			// With no concurrency every Versioned scan — including the final
 			// full Scan — validates on its first optimistic attempt: the
 			// gauges must show a clean sweep.
-			if st := vs.Stats(); st.Escalations != 0 || st.TornReads != 0 || st.ViewsDiscarded != 0 || st.OptimisticScans != scansDone+1 {
+			if st := objs[snapshot.ImplVersioned].(snapshot.StatsReader).Stats(); st.Escalations != 0 ||
+				st.TornReads != 0 || st.ViewsDiscarded != 0 || st.OptimisticScans != scansDone+1 {
 				t.Fatalf("sequential versioned scans escaped the fast path: %d scans, stats %+v", scansDone+1, st)
+			}
+			// Likewise the Sharded composition protocol: cross-shard scans
+			// happen (the final full Scan spans every shard at minimum) but
+			// with no writer ever in flight none may retry.
+			st := objs[snapshot.ImplSharded].(snapshot.StatsReader).Stats()
+			if st.CrossShardScans == 0 {
+				t.Fatalf("sequential full scans never crossed shards: %+v", st)
+			}
+			if st.CrossShardRetries != 0 {
+				t.Fatalf("sequential cross-shard scans retried with no concurrency: %+v", st)
 			}
 		})
 	}
+}
+
+// allComps is 0..n-1, the full-scan component list the model reads.
+func allComps(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }

@@ -1,0 +1,217 @@
+package snapshot_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"partialsnapshot/internal/snapshot"
+)
+
+func newShardedT(t *testing.T, n, shards int) *snapshot.Sharded[int64] {
+	t.Helper()
+	obj, err := snapshot.New[int64](snapshot.ImplSharded, n, snapshot.WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj.(*snapshot.Sharded[int64])
+}
+
+// TestShardedGeometry pins the routing arithmetic: floor width, the last
+// shard absorbing the remainder, and ShardOf clamping everything above the
+// fixed ranges into it.
+func TestShardedGeometry(t *testing.T) {
+	s := newShardedT(t, 10, 4)
+	if s.NumShards() != 4 || s.ShardWidth() != 2 {
+		t.Fatalf("got %d shards of width %d, want 4 of width 2", s.NumShards(), s.ShardWidth())
+	}
+	if s.MinComponents() != 7 {
+		t.Fatalf("MinComponents = %d, want 7", s.MinComponents())
+	}
+	// Shards 0..2 own 2 components each; shard 3 owns 6..9 (remainder 4).
+	wantShard := []int{0, 0, 1, 1, 2, 2, 3, 3, 3, 3}
+	for id, want := range wantShard {
+		if got := s.ShardOf(id); got != want {
+			t.Fatalf("ShardOf(%d) = %d, want %d", id, got, want)
+		}
+	}
+	// Growth lands in the last shard too.
+	if n, err := s.Grow(3); err != nil || n != 13 {
+		t.Fatalf("Grow(3) = %d, %v", n, err)
+	}
+	if got := s.ShardOf(12); got != 3 {
+		t.Fatalf("ShardOf(12) after grow = %d, want 3", got)
+	}
+	if s.Components() != 13 {
+		t.Fatalf("Components = %d, want 13", s.Components())
+	}
+}
+
+// TestShardedShrinkFloor pins the resize taxonomy: shrinking within the
+// last shard's flex works; cutting into the fixed geometry, shrinking to
+// zero, and non-positive deltas are ErrBadResize.
+func TestShardedShrinkFloor(t *testing.T) {
+	s := newShardedT(t, 10, 4) // min keep = 7
+	if n, err := s.Shrink(3); err != nil || n != 7 {
+		t.Fatalf("Shrink(3) = %d, %v", n, err)
+	}
+	if _, err := s.Shrink(1); !errors.Is(err, snapshot.ErrBadResize) {
+		t.Fatalf("Shrink below the geometry floor: got %v, want ErrBadResize", err)
+	}
+	if _, err := s.Shrink(7); !errors.Is(err, snapshot.ErrBadResize) {
+		t.Fatalf("Shrink to zero: got %v, want ErrBadResize", err)
+	}
+	if _, err := s.Shrink(0); !errors.Is(err, snapshot.ErrBadResize) {
+		t.Fatalf("Shrink(0): got %v, want ErrBadResize", err)
+	}
+	if _, err := s.Grow(-1); !errors.Is(err, snapshot.ErrBadResize) {
+		t.Fatalf("Grow(-1): got %v, want ErrBadResize", err)
+	}
+	// The floor is a property of the sharded geometry, not of the inner
+	// objects: regrowing restores full range.
+	if n, err := s.Grow(3); err != nil || n != 10 {
+		t.Fatalf("regrow = %d, %v", n, err)
+	}
+}
+
+// TestShardedShrinkRegrowZeroes: components destroyed by Shrink come back
+// zero-valued after Grow, and operations naming them while shrunk are
+// rejected — the single-object semantics carried through the store.
+func TestShardedShrinkRegrowZeroes(t *testing.T) {
+	s := newShardedT(t, 8, 4)
+	if err := s.Update([]int{6, 7}, []int64{66, 77}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Shrink(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update([]int{7}, []int64{1}); !errors.Is(err, snapshot.ErrBadComponent) {
+		t.Fatalf("update of a shrunk component: got %v, want ErrBadComponent", err)
+	}
+	if _, err := s.PartialScan([]int{7}); !errors.Is(err, snapshot.ErrBadComponent) {
+		t.Fatalf("scan of a shrunk component: got %v, want ErrBadComponent", err)
+	}
+	if _, err := s.Grow(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.PartialScan([]int{6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 66 || got[1] != 0 {
+		t.Fatalf("after shrink+regrow read %v, want [66 0]", got)
+	}
+}
+
+// TestShardedStatsReconciliation: the aggregate Stats is exactly the
+// shard-wise sum (max for MaxHelpDepth) plus the store's own cross-shard
+// gauges, and resize counters land only in the last shard.
+func TestShardedStatsReconciliation(t *testing.T) {
+	s := newShardedT(t, 8, 4)
+	for i := 0; i < 8; i++ {
+		if err := s.Update([]int{i}, []int64{int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Scan(); err != nil { // spans all four shards
+		t.Fatal(err)
+	}
+	if _, err := s.Grow(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Shrink(2); err != nil {
+		t.Fatal(err)
+	}
+	agg := s.Stats()
+	var sum snapshot.Stats
+	for i := 0; i < s.NumShards(); i++ {
+		st, ok := s.ShardStats(i)
+		if !ok {
+			t.Fatalf("shard %d exposes no stats", i)
+		}
+		if i != s.NumShards()-1 && (st.Grows != 0 || st.Shrinks != 0 || st.Epoch != 0) {
+			t.Fatalf("resize counters leaked into fixed shard %d: %+v", i, st)
+		}
+		sum.RegistryWalks += st.RegistryWalks
+		sum.WalksSkipped += st.WalksSkipped
+		sum.Grows += st.Grows
+		sum.Shrinks += st.Shrinks
+		sum.Epoch += st.Epoch
+		sum.EpochInstalls += st.EpochInstalls
+	}
+	if agg.RegistryWalks != sum.RegistryWalks || agg.WalksSkipped != sum.WalksSkipped {
+		t.Fatalf("consultation counters diverged: aggregate %+v, shard sum %+v", agg, sum)
+	}
+	if agg.Grows != 1 || agg.Shrinks != 1 || agg.EpochInstalls != 2 || agg.Epoch != 2 {
+		t.Fatalf("resize counters wrong: %+v", agg)
+	}
+	if agg.Grows != sum.Grows || agg.Shrinks != sum.Shrinks {
+		t.Fatalf("resize counters diverged from shard sum: aggregate %+v, sum %+v", agg, sum)
+	}
+	if agg.CrossShardScans == 0 {
+		t.Fatalf("full scans never counted as cross-shard: %+v", agg)
+	}
+}
+
+// TestShardedCrossShardAtomicity hammers the composition protocol: one
+// writer keeps two components in DIFFERENT shards equal (always updated in
+// one batch... which the package contract says is NOT atomic, so it writes
+// them via two single-component updates inside an equality protocol the
+// scanner can check: it bumps both components through the same value
+// sequence, and a scan that reads the pair mid-flight may see [k+1, k] but
+// never [k, k+1] — value order proves view order). Concurrently, scanners
+// PartialScan the pair and assert the invariant. A torn composition — two
+// sub-scans from different instants stitched together — would surface as a
+// backwards pair within a few thousand iterations; the shard stamps must
+// prevent it.
+func TestShardedCrossShardAtomicity(t *testing.T) {
+	s := newShardedT(t, 8, 4)
+	lo, hi := 0, 7 // shard 0 and shard 3
+	iters := 30000
+	if testing.Short() {
+		iters = 3000
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for k := int64(1); k <= int64(iters); k++ {
+			// hi first, then lo: a scan may catch hi ahead of lo, never
+			// lo ahead of hi.
+			if err := s.Update([]int{hi}, []int64{k}); err != nil {
+				t.Errorf("update hi: %v", err)
+				return
+			}
+			if err := s.Update([]int{lo}, []int64{k}); err != nil {
+				t.Errorf("update lo: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				got, err := s.PartialScan([]int{lo, hi})
+				if err != nil {
+					t.Errorf("cross-shard scan: %v", err)
+					return
+				}
+				if got[0] > got[1] {
+					t.Errorf("torn cross-shard view: lo=%d ahead of hi=%d", got[0], got[1])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.CrossShardScans == 0 {
+		t.Fatalf("the hammer never crossed shards: %+v", st)
+	}
+	t.Logf("cross-shard scans %d, retries %d", st.CrossShardScans, st.CrossShardRetries)
+}
